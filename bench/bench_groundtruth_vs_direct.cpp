@@ -1,0 +1,80 @@
+// X1: the paper's complexity claim (§I, §IV).
+//
+// Direct local/global 4-cycle counting on a sparse graph costs
+// O(Σ_j d_j²) ≈ O(|V||E|)-class work and needs the |E_C|-sized graph in
+// memory; the Kronecker ground-truth formulas cost factor-space work —
+// sublinear in |E_C| for the global count, linear only when the full
+// per-vertex vector is materialized.
+//
+// We sweep product size (by growing the factors) and time:
+//   * materialize + direct wedge counting         (the validator's cost)
+//   * factored ground truth, global count          (sublinear path)
+//   * factored ground truth, full vertex vector    (linear path)
+// and print the speedup.  The shape to reproduce: ground-truth cost grows
+// orders of magnitude slower than direct counting; the gap widens with
+// scale (the paper's trillion-edge extrapolation rests on this).
+
+#include <cstdio>
+
+#include "kronlab/common/timer.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/kron/product.hpp"
+
+using namespace kronlab;
+
+int main() {
+  std::printf("== X1: ground-truth formulas vs direct counting ==\n\n");
+  std::printf("%10s %12s | %12s %14s | %12s %12s | %9s\n", "|V_C|", "|E_C|",
+              "direct(s)", "(count+build)", "truth-glob(s)",
+              "truth-vec(s)", "speedup");
+
+  Rng rng(7);
+  for (const index_t scale : {4, 8, 16, 32, 48}) {
+    // Grow BOTH factors: |E_C| = nnz(A)·nnz(B)/2 grows quadratically in
+    // scale while factor-space work grows ~linearly — that separation is
+    // the paper's complexity argument.
+    const auto a =
+        gen::random_nonbipartite_connected(4 * scale, 10 * scale, rng);
+    const auto b = gen::connected_random_bipartite(5 * scale, 5 * scale,
+                                                   20 * scale, rng);
+    const auto kp = kron::BipartiteKronecker::raw(a, b);
+
+    count_t direct_total = 0;
+    Timer t_direct;
+    {
+      const auto c = kp.materialize();
+      direct_total = graph::global_butterflies(c);
+    }
+    const double direct_s = t_direct.seconds();
+
+    Timer t_glob;
+    const count_t truth_total = kron::global_squares(kp);
+    const double glob_s = t_glob.seconds();
+
+    Timer t_vec;
+    const auto s_vec = kron::vertex_squares(kp).materialize();
+    const double vec_s = t_vec.seconds();
+
+    if (direct_total != truth_total) {
+      std::printf("MISMATCH at scale %lld: direct=%lld truth=%lld\n",
+                  static_cast<long long>(scale),
+                  static_cast<long long>(direct_total),
+                  static_cast<long long>(truth_total));
+      return 1;
+    }
+    std::printf("%10s %12s | %12.4f %14s | %12.5f %12.5f | %8.1fx\n",
+                format_count(kp.num_vertices()).c_str(),
+                format_count(kp.num_edges()).c_str(), direct_s, "",
+                glob_s, vec_s, direct_s / std::max(1e-9, glob_s));
+    (void)s_vec;
+  }
+
+  std::printf("\nshape: direct cost grows with |E_C| (and its wedge count); "
+              "ground-truth\nglobal cost grows only with factor size — the "
+              "crossover favors formulas\nimmediately and the gap widens "
+              "with scale, as §I claims.\n");
+  return 0;
+}

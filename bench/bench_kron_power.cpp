@@ -1,0 +1,60 @@
+// Kronecker-power scaling (Graph500 lineage): statistics and ground-truth
+// cost of k-fold chains F^{⊗k}.
+//
+// The earlier nonstochastic work generates trillion-edge graphs as
+// iterated powers; this bench shows kronlab's chain engine delivering
+// exact global 4-cycle counts for products that grow geometrically while
+// the evaluation cost stays at factor scale (times k).
+
+#include <cstdio>
+
+#include "kronlab/common/timer.hpp"
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/kron/power.hpp"
+
+using namespace kronlab;
+
+int main() {
+  std::printf("== k-fold Kronecker power scaling ==\n\n");
+
+  Rng rng(73);
+  const auto base = gen::random_nonbipartite_connected(8, 18, rng);
+  const auto tail = gen::connected_random_bipartite(4, 4, 10, rng);
+
+  std::printf("chain: base^(k-1) (x) bipartite-tail   (base: 8 vertices / "
+              "18 edges)\n\n");
+  std::printf("%3s %14s %16s %22s %12s\n", "k", "|V_C|", "|E_C|",
+              "global 4-cycles", "truth time");
+  for (int k = 1; k <= 6; ++k) {
+    std::vector<graph::Adjacency> factors(static_cast<std::size_t>(k - 1),
+                                          base);
+    factors.push_back(tail);
+    const auto ck = kron::ChainKronecker::of(std::move(factors));
+    Timer t;
+    const count_t squares = ck.global_squares();
+    const double secs = t.seconds();
+    std::printf("%3d %14s %16s %22s %12s\n", k,
+                format_count(ck.num_vertices()).c_str(),
+                format_count(ck.num_edges()).c_str(),
+                format_count(squares).c_str(),
+                format_duration(secs).c_str());
+    // Validate against direct counting while that is still feasible.
+    if (ck.num_edges() <= 2'000'000) {
+      const auto direct =
+          graph::global_butterflies(ck.materialize());
+      if (direct != squares) {
+        std::printf("MISMATCH at k=%d: direct=%lld\n", k,
+                    static_cast<long long>(direct));
+        return 1;
+      }
+    }
+  }
+
+  std::printf("\n(rows with |E_C| <= 2M were re-counted directly and match "
+              "exactly; beyond\nthat the product is never materialized — "
+              "the evaluation cost column barely\nmoves while |E_C| grows "
+              "18x per level.)\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Scaling-law benches: Thm 6 (bipartite edge clustering coefficient) and
+// Cors. 1–2 (community density bounds).
+//
+// Thm 6 claims Γ_C(p,q) ≥ ψ·Γ_A·Γ_B with ψ ∈ [1/9, 1) and notes the bound
+// is loose ("typically ◇_pq is much greater than ◇_ij·◇_kl").  We measure
+// the bound's slack over all qualifying edges for a sweep of factor
+// densities.
+//
+// Cors. 1–2 claim ρ_in(S_C) is bounded below and ρ_out(S_C) above by
+// factor-density products; we sweep the community balance ω and the planted
+// density to show both are controllable — the paper's headline for §III-C.
+
+#include <cstdio>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/kron/clustering.hpp"
+#include "kronlab/kron/community.hpp"
+
+using namespace kronlab;
+
+namespace {
+
+void thm6_row(const char* name, const kron::BipartiteKronecker& kp) {
+  const auto samples = kron::clustering_samples(kp);
+  if (samples.empty()) {
+    std::printf("%-26s (no qualifying edges)\n", name);
+    return;
+  }
+  double min_ratio = 1e300, sum_ratio = 0, min_gap = 1e300;
+  count_t violations = 0;
+  for (const auto& s : samples) {
+    const double base = s.gamma_a * s.gamma_b;
+    const double ratio = base > 0 ? s.gamma_c / base : 0.0;
+    if (base > 0) {
+      min_ratio = std::min(min_ratio, ratio);
+      sum_ratio += ratio;
+    }
+    min_gap = std::min(min_gap, s.gamma_c - s.bound);
+    if (s.gamma_c < s.bound - 1e-12) ++violations;
+  }
+  std::printf("%-26s edges=%7zu  min Γ_C/(Γ_AΓ_B)=%7.3f  mean=%8.3f  "
+              "ψ_min=1/9=%.3f  violations=%lld\n",
+              name, samples.size(), min_ratio,
+              sum_ratio / static_cast<double>(samples.size()), 1.0 / 9.0,
+              static_cast<long long>(violations));
+}
+
+kron::FactorCommunity prefix_community(const graph::Adjacency& a,
+                                       index_t n_u, index_t r, index_t t) {
+  const auto part = graph::two_color(a).value();
+  graph::BipartiteSubset s;
+  for (index_t i = 0; i < r; ++i) s.r.push_back(i);
+  for (index_t k = 0; k < t; ++k) s.t.push_back(n_u + k);
+  return kron::measure_factor_community(a, part, s);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Thm 6: edge clustering coefficient scaling law ==\n\n");
+  {
+    Rng rng(2024);
+    for (const count_t extra : {4, 10, 18}) {
+      const auto a = gen::random_nonbipartite_connected(8, 8 + 2 + extra, rng);
+      const auto b =
+          gen::connected_random_bipartite(6, 6, 11 + extra, rng);
+      char name[64];
+      std::snprintf(name, sizeof name, "density sweep (+%lld edges)",
+                    static_cast<long long>(extra));
+      thm6_row(name, kron::BipartiteKronecker::assumption_i(a, b));
+    }
+    // Dense extreme: K4 ⊗ K_{4,4} has maximal clustering everywhere.
+    thm6_row("K4 (x) K44 (dense)",
+             kron::BipartiteKronecker::assumption_i(
+                 gen::complete_graph(4), gen::complete_bipartite(4, 4)));
+  }
+  std::printf("\n(the min ratio stays >= psi >= 1/9 — the Thm 6 guarantee — "
+              "while the mean\nratio is far larger, matching the paper's "
+              "'typically much greater' remark.)\n");
+
+  std::printf("\n== Cors. 1-2: community density scaling laws ==\n\n");
+  std::printf("%-30s %9s %9s %9s | %9s %9s %9s\n", "scenario", "rho_inC",
+              "Cor1 lb", "slack", "rho_outC", "Cor2 ub", "slack");
+
+  // ω sweep: community balance in S_A from lopsided to balanced.
+  Rng rng(99);
+  const gen::PlantedCommunity base{.nu = 20,
+                                   .nw = 20,
+                                   .r = 8,
+                                   .t = 8,
+                                   .p_in = 0.8,
+                                   .p_out = 0.05};
+  const auto b_factor = gen::planted_community_bipartite(base, rng);
+  const auto fb = prefix_community(b_factor, base.nu, base.r, base.t);
+
+  for (const auto& [r_a, t_a] : {std::pair<index_t, index_t>{8, 8},
+                                 {12, 4},
+                                 {14, 2}}) {
+    gen::PlantedCommunity pa = base;
+    pa.r = r_a;
+    pa.t = t_a;
+    const auto a_factor = gen::planted_community_bipartite(pa, rng);
+    const auto fa = prefix_community(a_factor, pa.nu, r_a, t_a);
+    const auto pc = kron::product_community(fa, fb);
+    const double lb = kron::cor1_lower_bound(fa, fb);
+    const double ub = kron::cor2_upper_bound(fa, fb);
+    char name[64];
+    std::snprintf(name, sizeof name, "omega sweep |R_A|=%lld |T_A|=%lld",
+                  static_cast<long long>(r_a), static_cast<long long>(t_a));
+    std::printf("%-30s %9.4f %9.4f %9.4f | %9.5f %9.5f %9.5f\n", name,
+                pc.rho_in(), lb, pc.rho_in() - lb, pc.rho_out(), ub,
+                ub - pc.rho_out());
+  }
+
+  // Density sweep: stronger planted communities stay stronger in C.
+  for (const double p_in : {0.3, 0.6, 0.9}) {
+    gen::PlantedCommunity pa = base;
+    pa.p_in = p_in;
+    const auto a_factor = gen::planted_community_bipartite(pa, rng);
+    const auto fa = prefix_community(a_factor, pa.nu, pa.r, pa.t);
+    const auto pc = kron::product_community(fa, fb);
+    const double lb = kron::cor1_lower_bound(fa, fb);
+    const double ub = kron::cor2_upper_bound(fa, fb);
+    char name[64];
+    std::snprintf(name, sizeof name, "density sweep p_in=%.1f", p_in);
+    std::printf("%-30s %9.4f %9.4f %9.4f | %9.5f %9.5f %9.5f\n", name,
+                pc.rho_in(), lb, pc.rho_in() - lb, pc.rho_out(), ub,
+                ub - pc.rho_out());
+  }
+
+  std::printf("\n(rho_in(S_C) tracks rho_in(S_A)*rho_in(S_B) from above — "
+              "dense factor\ncommunities yield dense product communities; "
+              "rho_out stays bounded — the\n'controllable' claim of "
+              "contributions (c)-(d).)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Table I reproduction (§IV): graph statistics for the unicode-like factor
+// A and the Kronecker product C = (A + I_A) ⊗ A.
+//
+// The paper's row for C reports |U_C| = 220,472, |W_C| = 532,952,
+// |E_C| = 3,155,072, and 946,565,889 global 4-cycles, computed on the real
+// KONECT `unicode` dataset.  We use the documented synthetic stand-in
+// (gen::unicode_like — same two-mode shape and edge count, heavy-tail
+// degrees), so vertex-set sizes match exactly and edge/4-cycle counts match
+// in order of magnitude.
+//
+// Note on |E_C|: with C = (A+I_A) ⊗ A, |E_C| = nnz(A+I_A)·nnz(A)/2
+// = 4,245,280 for the real factor sizes.  The printed 3,155,072 equals
+// nnz(A)²/2 — the A ⊗ A edge count without the identity block — so the
+// paper's table appears to omit the I_A ⊗ A edges; we report both.
+
+#include <cstdio>
+
+#include "kronlab/common/timer.hpp"
+#include "kronlab/gen/unicode_like.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/graph/stats.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/kron/product.hpp"
+
+using namespace kronlab;
+
+int main() {
+  std::printf("== Table I: unicode-like factor and C = (A + I_A) ⊗ A ==\n\n");
+
+  Timer total;
+  const gen::UnicodeLikeParams params; // konect `unicode` shape
+  const auto a = gen::unicode_like();
+  // Sides by construction (two-coloring would assign isolated vertices
+  // arbitrarily): left block is U, right block is W, as in the dataset.
+  const index_t n_u = params.n_left;
+  const index_t n_w = params.n_right;
+
+  Timer t_factor;
+  const count_t factor_squares = graph::global_butterflies(a);
+  const double factor_time = t_factor.seconds();
+
+  // Paper's construction; `raw` because the real unicode factor is
+  // disconnected (Thm 2's connectivity guarantee needs connected factors,
+  // but every ground-truth formula only needs loop-free B).
+  const auto kp =
+      kron::BipartiteKronecker::raw(grb::add_identity(a), a);
+
+  Timer t_product;
+  const count_t product_squares = kron::global_squares(kp);
+  const double product_time = t_product.seconds();
+
+  const index_t n_u_c = a.nrows() * n_u;
+  const index_t n_w_c = a.nrows() * n_w;
+  const count_t e_c = kp.num_edges();
+  const count_t e_axa = a.nnz() * a.nnz() / 2;
+
+  std::printf("%-28s %20s %20s\n", "", "measured", "paper (unicode)");
+  std::printf("%-28s %20s %20s\n", "A: |U_A|",
+              format_count(n_u).c_str(), "254");
+  std::printf("%-28s %20s %20s\n", "A: |W_A|",
+              format_count(n_w).c_str(), "614");
+  std::printf("%-28s %20s %20s\n", "A: |E_A|",
+              format_count(graph::num_edges(a)).c_str(), "1,256");
+  std::printf("%-28s %20s %20s\n", "A: global 4-cycles",
+              format_count(factor_squares).c_str(), "1,662");
+  std::printf("%-28s %20s %20s\n", "C: |U_C|",
+              format_count(n_u_c).c_str(), "220,472");
+  std::printf("%-28s %20s %20s\n", "C: |W_C|",
+              format_count(n_w_c).c_str(), "532,952");
+  std::printf("%-28s %20s %20s\n", "C: |E_C| (full (A+I)⊗A)",
+              format_count(e_c).c_str(), "4,245,280*");
+  std::printf("%-28s %20s %20s\n", "C: |E_C| (A⊗A part only)",
+              format_count(e_axa).c_str(), "3,155,072");
+  std::printf("%-28s %20s %20s\n", "C: global 4-cycles",
+              format_count(product_squares).c_str(), "946,565,889");
+  std::printf("\n(*) see header note: the paper's |E_C| equals nnz(A)^2/2.\n");
+
+  const auto sum_a = graph::degree_summary(a);
+  std::printf("\nfactor degree shape: max=%lld mean=%.2f gini=%.3f\n",
+              static_cast<long long>(sum_a.max_degree), sum_a.mean_degree,
+              sum_a.gini);
+
+  std::printf("\nground-truth timing (factor-space only, |E_C| never "
+              "materialized):\n");
+  std::printf("  factor 4-cycles (direct wedge count): %s\n",
+              format_duration(factor_time).c_str());
+  std::printf("  product global 4-cycles (factored)  : %s\n",
+              format_duration(product_time).c_str());
+  std::printf("  total                                : %s\n",
+              format_duration(total.seconds()).c_str());
+  std::printf("\n\"local and global 4-cycle counts are done in seconds on a "
+              "commodity laptop\" (§IV): %s\n",
+              total.seconds() < 30.0 ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}

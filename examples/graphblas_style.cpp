@@ -1,0 +1,100 @@
+// graphblas_style — the paper's §I GraphBLAS pitch, written out.
+//
+// "The linear algebraic ground truth formulas provided in this work lend
+//  themselves nicely to an implementation using GraphBLAS... a relatively
+//  simple GraphBLAS code could be used to sample 4-cycle counts at edges
+//  and vertices without materializing the full Kronecker products."
+//
+// This example *is* that code: every ground-truth quantity is assembled
+// from the mini-GraphBLAS kernels directly (mxm, masked mxm, eWise ops,
+// reductions, Kronecker products of small vectors) — no kron:: engine
+// calls — and then checked against both the engine and direct counting.
+
+#include <cstdio>
+
+#include "kronlab/kronlab.hpp"
+
+using namespace kronlab;
+using grb::Vector;
+
+int main() {
+  std::printf("== ground truth via raw GraphBLAS-style kernels ==\n\n");
+
+  // Factors: M = A + I (Assumption 1(ii)), B bipartite.
+  const auto a = gen::star_graph(3);
+  const auto b = gen::crown_graph(3);
+  const auto m = grb::add_identity(a); // GrB_eWiseAdd(A, I)
+
+  // --- factor-level statistics, kernel by kernel -----------------------
+  // d = M·1                 (GrB_reduce by row)
+  const auto d_m = grb::reduce_rows(m);
+  const auto d_b = grb::reduce_rows(b);
+  // w² = M·(M·1)            (two GrB_mxv)
+  const auto w2_m = grb::mxv(m, d_m);
+  const auto w2_b = grb::mxv(b, d_b);
+  // M²                      (GrB_mxm)
+  const auto m2 = grb::mxm(m, m);
+  const auto b2 = grb::mxm(b, b);
+  // diag(M⁴) = row-wise dot of M² with itself (M symmetric):
+  Vector<count_t> diag4_m(m.nrows(), 0);
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    count_t acc = 0;
+    for (const count_t v : m2.row_vals(i)) acc += v * v;
+    diag4_m[i] = acc;
+  }
+  Vector<count_t> diag4_b(b.nrows(), 0);
+  for (index_t k = 0; k < b.nrows(); ++k) {
+    count_t acc = 0;
+    for (const count_t v : b2.row_vals(k)) acc += v * v;
+    diag4_b[k] = acc;
+  }
+
+  // --- vertex squares: s_C = ½(diag(C⁴) − d∘d − w² + d), factored -------
+  // Every term is a Kronecker product of the factor vectors above
+  // (GrB_kronecker on vectors).
+  const auto t1 = grb::kron(diag4_m, diag4_b);
+  const auto t2 = grb::kron(grb::ewise_mult(d_m, d_m),
+                            grb::ewise_mult(d_b, d_b));
+  const auto t3 = grb::kron(w2_m, w2_b);
+  const auto t4 = grb::kron(d_m, d_b);
+  Vector<count_t> s_c(t1.size());
+  for (index_t p = 0; p < s_c.size(); ++p) {
+    s_c[p] = (t1[p] - t2[p] - t3[p] + t4[p]) / 2;
+  }
+  const count_t global = grb::reduce(s_c) / 4;
+
+  // --- edge squares sampled without materializing C --------------------
+  // (M³∘M) via masked mxm — the §I "sample at edges" kernel.
+  const auto m3m = grb::mxm_masked(m, m2, m);
+  const auto b3b = grb::mxm_masked(b, b2, b);
+  // Probe one product edge: (i,j)=(0,1) is an M edge (hub-leaf + loop
+  // diagonal untouched), (k,l)=(0,4) is a crown edge of B.
+  const index_t i = 0, j = 1, k = 0, l = 4;
+  const count_t probe = m3m.at(i, j) * b3b.at(k, l) - d_m[i] * d_b[k] -
+                        d_m[j] * d_b[l] + 1;
+
+  // --- report & verify --------------------------------------------------
+  const auto kp = kron::BipartiteKronecker::assumption_ii(a, b);
+  const count_t engine_global = kron::global_squares(kp);
+  const auto c = kp.materialize();
+  const count_t direct_global = graph::global_butterflies(c);
+  const auto sh = kp.shape();
+  const count_t direct_probe =
+      graph::edge_butterflies(c).at(sh.row(i, k), sh.col(j, l));
+
+  std::printf("global 4-cycles : raw kernels %lld | engine %lld | direct "
+              "%lld\n",
+              static_cast<long long>(global),
+              static_cast<long long>(engine_global),
+              static_cast<long long>(direct_global));
+  std::printf("sampled edge ◇  : raw kernels %lld | direct %lld\n",
+              static_cast<long long>(probe),
+              static_cast<long long>(direct_probe));
+
+  const bool ok = global == engine_global && global == direct_global &&
+                  probe == direct_probe;
+  std::printf("\n%s\n", ok ? "all three paths agree — the §I GraphBLAS "
+                             "formulation is executable as-is."
+                           : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// spotcheck_service — validating an analytics engine by random probes.
+//
+// A common deployment of the paper's generators: the graph is too large to
+// verify exhaustively, so the harness streams it to the system under test
+// and then *spot-checks* randomly sampled vertices and edges against the
+// exact oracle.  Any disagreement indicts the SUT with a concrete witness
+// (vertex/edge id + expected vs reported value).
+//
+// The "system under test" here is a small in-memory analytics engine that
+// recomputes butterfly statistics from its own copy of the graph — with an
+// injected fault: it silently drops its highest-degree vertex's last
+// adjacency entry (a classic off-by-one ingestion bug).
+
+#include <cstdio>
+#include <vector>
+
+#include "kronlab/kronlab.hpp"
+
+using namespace kronlab;
+
+namespace {
+
+/// A toy analytics engine: ingests streamed edges, answers queries.
+class SystemUnderTest {
+public:
+  explicit SystemUnderTest(index_t n, bool inject_fault)
+      : n_(n), fault_(inject_fault) {}
+
+  void ingest(index_t p, index_t q) { edges_.emplace_back(p, q); }
+
+  void finalize() {
+    if (fault_ && !edges_.empty()) {
+      edges_.pop_back(); // the bug: last streamed edge never lands
+    }
+    adj_ = graph::from_undirected_edges(n_, edges_);
+    squares_ = graph::vertex_butterflies(adj_);
+    edge_squares_ = graph::edge_butterflies(adj_);
+  }
+
+  [[nodiscard]] count_t vertex_squares(index_t p) const {
+    return squares_[p];
+  }
+  [[nodiscard]] count_t edge_squares(index_t p, index_t q) const {
+    return edge_squares_.at(p, q);
+  }
+
+private:
+  index_t n_;
+  bool fault_;
+  std::vector<std::pair<index_t, index_t>> edges_;
+  graph::Adjacency adj_;
+  grb::Vector<count_t> squares_;
+  grb::Csr<count_t> edge_squares_;
+};
+
+int spot_check(const kron::GroundTruthOracle& oracle,
+               const SystemUnderTest& sut, int probes, Rng& rng) {
+  int failures = 0;
+  for (int t = 0; t < probes; ++t) {
+    const auto v = oracle.sample_vertex(rng);
+    const count_t got = sut.vertex_squares(v.p);
+    if (got != v.squares) {
+      if (failures++ == 0) {
+        std::printf("    witness: vertex %lld expected %lld got %lld\n",
+                    static_cast<long long>(v.p),
+                    static_cast<long long>(v.squares),
+                    static_cast<long long>(got));
+      }
+    }
+    const auto e = oracle.sample_edge(rng);
+    const count_t got_e = sut.edge_squares(e.p, e.q);
+    if (got_e != e.squares) {
+      if (failures++ == 1) {
+        std::printf("    witness: edge (%lld,%lld) expected %lld got %lld\n",
+                    static_cast<long long>(e.p),
+                    static_cast<long long>(e.q),
+                    static_cast<long long>(e.squares),
+                    static_cast<long long>(got_e));
+      }
+    }
+  }
+  return failures;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== spot-check validation with the ground-truth oracle ==\n\n");
+
+  Rng rng(2468);
+  const auto kp = kron::BipartiteKronecker::assumption_i(
+      gen::random_nonbipartite_connected(10, 24, rng),
+      gen::connected_random_bipartite(8, 8, 28, rng));
+  std::printf("benchmark graph: %lld vertices, %lld edges\n",
+              static_cast<long long>(kp.num_vertices()),
+              static_cast<long long>(kp.num_edges()));
+
+  const kron::GroundTruthOracle oracle(kp);
+
+  for (const bool faulty : {false, true}) {
+    SystemUnderTest sut(kp.num_vertices(), faulty);
+    kron::EdgeStream(kp).for_each_edge(
+        [&](index_t p, index_t q) { sut.ingest(p, q); });
+    sut.finalize();
+
+    Rng probe_rng(13);
+    const int probes = 200;
+    const int failures = spot_check(oracle, sut, probes, probe_rng);
+    std::printf("\nSUT (%s): %d/%d probes failed -> %s\n",
+                faulty ? "with injected ingestion bug" : "healthy",
+                failures, 2 * probes,
+                failures == 0 ? "VALIDATED" : "REJECTED");
+  }
+
+  std::printf("\n(one dropped edge out of %lld perturbed butterfly counts "
+              "widely enough for\nrandom probes to catch it — the §I "
+              "pitch: without ground truth, a count\nthat is merely "
+              "plausible would pass.)\n",
+              static_cast<long long>(kp.num_edges()));
+  return 0;
+}

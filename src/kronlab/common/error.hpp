@@ -1,0 +1,70 @@
+// kronlab/common/error.hpp
+//
+// Typed error hierarchy and argument-checking macros.
+//
+// kronlab follows a "wide contract at API boundaries" policy: public entry
+// points validate their structural preconditions (square matrices, sorted
+// indices, loop-free factors, ...) and throw a typed exception describing the
+// violated contract.  Hot inner loops use KRONLAB_DBG_ASSERT, which compiles
+// away in release builds.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kronlab {
+
+/// Base class for all kronlab errors.
+class error : public std::runtime_error {
+public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A structural precondition on an argument was violated (wrong shape,
+/// unsorted indices, out-of-range vertex id, ...).
+class invalid_argument : public error {
+public:
+  explicit invalid_argument(const std::string& what) : error(what) {}
+};
+
+/// The operation requires a property the input graph does not have
+/// (e.g. ground-truth formulas require factor B to be loop-free).
+class domain_error : public error {
+public:
+  explicit domain_error(const std::string& what) : error(what) {}
+};
+
+/// Input file could not be parsed.
+class io_error : public error {
+public:
+  explicit io_error(const std::string& what) : error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "kronlab: requirement `" << cond << "` failed at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invalid_argument(os.str());
+}
+} // namespace detail
+
+} // namespace kronlab
+
+/// Validate a public-API precondition; throws kronlab::invalid_argument.
+#define KRONLAB_REQUIRE(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::kronlab::detail::throw_invalid(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Debug-only internal invariant check.
+#ifndef NDEBUG
+#define KRONLAB_DBG_ASSERT(cond, msg) KRONLAB_REQUIRE(cond, msg)
+#else
+#define KRONLAB_DBG_ASSERT(cond, msg) ((void)0)
+#endif

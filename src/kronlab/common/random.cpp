@@ -1,0 +1,92 @@
+#include "kronlab/common/random.hpp"
+
+#include <cmath>
+
+#include "kronlab/common/error.hpp"
+
+namespace kronlab {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro state must not be all-zero; splitmix64 seeding guarantees a
+  // well-mixed nonzero state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  KRONLAB_DBG_ASSERT(bound > 0, "next_below requires positive bound");
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+index_t Rng::uniform(index_t lo, index_t hi) {
+  KRONLAB_DBG_ASSERT(lo <= hi, "uniform requires lo <= hi");
+  return lo + static_cast<index_t>(
+                  next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+Rng Rng::split() {
+  // Derive an independent stream by hashing fresh output through splitmix.
+  std::uint64_t s = next();
+  return Rng(splitmix64(s));
+}
+
+index_t zipf_sample(Rng& rng, index_t n, double alpha) {
+  KRONLAB_REQUIRE(n >= 1, "zipf_sample requires n >= 1");
+  KRONLAB_REQUIRE(alpha > 0.0, "zipf_sample requires alpha > 0");
+  if (n == 1) return 1;
+  // Devroye's rejection sampler for the Zipf(alpha) distribution.
+  const double b = std::pow(2.0, alpha - 1.0);
+  for (;;) {
+    const double u = rng.next_double();
+    const double v = rng.next_double();
+    const double x = std::floor(std::pow(u, -1.0 / (alpha - 1.0 + 1e-12)));
+    if (x > static_cast<double>(n) || x < 1.0) continue;
+    const double t = std::pow(1.0 + 1.0 / x, alpha - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<index_t>(x);
+    }
+  }
+}
+
+} // namespace kronlab

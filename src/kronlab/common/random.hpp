@@ -1,0 +1,53 @@
+// kronlab/common/random.hpp
+//
+// Deterministic, fast PRNG used by all synthetic generators.
+//
+// We use xoshiro256** seeded through splitmix64: it is reproducible across
+// platforms (unlike std::mt19937 distributions, the helpers below avoid
+// libstdc++-specific distribution algorithms), fast enough for edge-at-a-time
+// generation, and streams can be split deterministically for parallel use.
+
+#pragma once
+
+#include <cstdint>
+
+#include "kronlab/common/types.hpp"
+
+namespace kronlab {
+
+/// splitmix64 step — used for seeding and cheap hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) with Lemire's rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform index in [lo, hi] inclusive.
+  index_t uniform(index_t lo, index_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Jump to an independent substream (for deterministic parallel splits).
+  [[nodiscard]] Rng split();
+
+private:
+  std::uint64_t s_[4];
+};
+
+/// Sample from a Zipf distribution on {1, ..., n} with exponent `alpha`
+/// via inverse-CDF on precomputed weights is expensive; this free function
+/// uses the rejection method of Devroye which is O(1) per sample.
+index_t zipf_sample(Rng& rng, index_t n, double alpha);
+
+} // namespace kronlab

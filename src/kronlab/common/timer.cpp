@@ -1,0 +1,36 @@
+#include "kronlab/common/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace kronlab {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string format_count(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u = neg ? -static_cast<unsigned long long>(v) : v;
+  std::string digits = std::to_string(u);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run != 0 && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  if (neg) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+} // namespace kronlab

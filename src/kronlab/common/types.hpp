@@ -1,0 +1,33 @@
+// kronlab/common/types.hpp
+//
+// Fundamental integer and value types used across kronlab.
+//
+// Graph sizes: the library targets Kronecker products whose dimensions are the
+// product of two factor dimensions.  Factor graphs are small (thousands of
+// vertices), products can exceed 2^32 edges, so all global indices and counts
+// are 64-bit.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace kronlab {
+
+/// Vertex / row / column index type.  Signed to make reverse loops and index
+/// arithmetic (e.g. `i - 1` in block maps) safe; 64-bit so Kronecker products
+/// of modest factors never overflow.
+using index_t = std::int64_t;
+
+/// Offset into a CSR structure (number of stored entries fits here).
+using offset_t = std::int64_t;
+
+/// Exact combinatorial counts (walks, cycles, wedges).  Walk counts of fourth
+/// powers of small factors fit comfortably; product-level global counts are
+/// sums of factor-level products and also fit in 64 bits for every workload
+/// in the paper's evaluation (largest is ~9.5e8 squares).
+using count_t = std::int64_t;
+
+inline constexpr index_t invalid_index = std::numeric_limits<index_t>::min();
+
+} // namespace kronlab

@@ -1,0 +1,160 @@
+#include "kronlab/dist/comm.hpp"
+
+#include <exception>
+#include <map>
+#include <thread>
+
+#include "kronlab/common/error.hpp"
+
+namespace kronlab::dist {
+
+namespace detail {
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  // (from, tag) → FIFO of messages.
+  std::map<std::pair<index_t, int>, std::deque<Message>> queues;
+};
+
+struct Runtime {
+  explicit Runtime(index_t ranks)
+      : size(ranks), mailboxes(static_cast<std::size_t>(ranks)) {}
+
+  const index_t size;
+  std::vector<Mailbox> mailboxes;
+
+  // Sense-reversing barrier.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  index_t barrier_waiting = 0;
+  std::uint64_t barrier_epoch = 0;
+
+  void deliver(index_t to, index_t from, int tag, Message msg) {
+    auto& box = mailboxes[static_cast<std::size_t>(to)];
+    {
+      std::lock_guard lock(box.mutex);
+      box.queues[{from, tag}].push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+  }
+
+  Message take(index_t me, index_t from, int tag) {
+    auto& box = mailboxes[static_cast<std::size_t>(me)];
+    std::unique_lock lock(box.mutex);
+    auto& q = box.queues[{from, tag}];
+    box.cv.wait(lock, [&] { return !q.empty(); });
+    Message msg = std::move(q.front());
+    q.pop_front();
+    return msg;
+  }
+
+  void barrier() {
+    std::unique_lock lock(barrier_mutex);
+    const std::uint64_t my_epoch = barrier_epoch;
+    if (++barrier_waiting == size) {
+      barrier_waiting = 0;
+      ++barrier_epoch;
+      barrier_cv.notify_all();
+    } else {
+      barrier_cv.wait(lock, [&] { return barrier_epoch != my_epoch; });
+    }
+  }
+};
+
+} // namespace detail
+
+index_t Comm::size() const { return rt_->size; }
+
+void Comm::send(index_t to, int tag, Message msg) {
+  KRONLAB_REQUIRE(to >= 0 && to < size(), "send: rank out of range");
+  rt_->deliver(to, rank_, tag, std::move(msg));
+}
+
+Message Comm::recv(index_t from, int tag) {
+  KRONLAB_REQUIRE(from >= 0 && from < size(), "recv: rank out of range");
+  return rt_->take(rank_, from, tag);
+}
+
+void Comm::barrier() { rt_->barrier(); }
+
+namespace {
+constexpr int kReduceTag = -1;
+constexpr int kGatherTag = -2;
+constexpr int kAlltoallTag = -3;
+} // namespace
+
+word_t Comm::allreduce_sum(word_t value) {
+  // Gather at rank 0, broadcast the sum — O(P) messages, plenty for the
+  // simulated scale and identical semantics to MPI_Allreduce.
+  if (rank_ == 0) {
+    word_t total = value;
+    for (index_t r = 1; r < size(); ++r) {
+      total += recv(r, kReduceTag).at(0);
+    }
+    for (index_t r = 1; r < size(); ++r) {
+      send(r, kReduceTag, {total});
+    }
+    return total;
+  }
+  send(0, kReduceTag, {value});
+  return recv(0, kReduceTag).at(0);
+}
+
+std::vector<word_t> Comm::allgather(word_t value) {
+  if (rank_ == 0) {
+    std::vector<word_t> all(static_cast<std::size_t>(size()));
+    all[0] = value;
+    for (index_t r = 1; r < size(); ++r) {
+      all[static_cast<std::size_t>(r)] = recv(r, kGatherTag).at(0);
+    }
+    for (index_t r = 1; r < size(); ++r) {
+      send(r, kGatherTag, Message(all));
+    }
+    return all;
+  }
+  send(0, kGatherTag, {value});
+  auto msg = recv(0, kGatherTag);
+  return msg;
+}
+
+std::vector<Message> Comm::alltoall(std::vector<Message> outgoing) {
+  KRONLAB_REQUIRE(static_cast<index_t>(outgoing.size()) == size(),
+                  "alltoall: need one message per rank");
+  std::vector<Message> incoming(static_cast<std::size_t>(size()));
+  incoming[static_cast<std::size_t>(rank_)] =
+      std::move(outgoing[static_cast<std::size_t>(rank_)]);
+  for (index_t r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    send(r, kAlltoallTag, std::move(outgoing[static_cast<std::size_t>(r)]));
+  }
+  for (index_t r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    incoming[static_cast<std::size_t>(r)] = recv(r, kAlltoallTag);
+  }
+  return incoming;
+}
+
+void run(index_t ranks, const std::function<void(Comm&)>& fn) {
+  KRONLAB_REQUIRE(ranks >= 1, "need at least one rank");
+  detail::Runtime rt(ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (index_t r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(&rt, r);
+        fn(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+} // namespace kronlab::dist

@@ -1,0 +1,81 @@
+// kronlab/dist/comm.hpp
+//
+// A simulated distributed-memory runtime: MPI-flavored ranks, point-to-
+// point messages, barriers and collectives — implemented over threads and
+// mailboxes.
+//
+// Why it exists: the paper's lineage is distributed generation and
+// validation at extreme scale (the cited trillion-edge triangle validation
+// ran on a million processes).  kronlab cannot assume MPI in its test
+// environment, but the *algorithms* — shard-local generation, ghost-row
+// exchange, reduction of validated counts — are communication-pattern
+// code that deserves real tests.  This runtime executes them with the
+// exact message discipline an MPI port would use: every transfer is an
+// explicit send/recv pair, there is no shared mutable state between
+// ranks, and collectives are built from the same primitives.
+//
+// Model: `run(P, fn)` spawns P rank threads, each receiving a Comm bound
+// to its rank.  Messages are typed vectors of 64-bit words with an integer
+// tag; recv blocks; collectives are synchronizing.  Exceptions in any rank
+// are captured and rethrown from run().
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "kronlab/common/types.hpp"
+
+namespace kronlab::dist {
+
+/// Payload word: every message is a vector of these.
+using word_t = std::int64_t;
+using Message = std::vector<word_t>;
+
+namespace detail {
+struct Runtime;
+} // namespace detail
+
+/// Per-rank communicator handle.  Valid only inside the rank function.
+class Comm {
+public:
+  [[nodiscard]] index_t rank() const { return rank_; }
+  [[nodiscard]] index_t size() const;
+
+  /// Asynchronous-buffered send (never blocks).
+  void send(index_t to, int tag, Message msg);
+
+  /// Blocking receive of the next message with `tag` from `from`
+  /// (messages from one sender with one tag arrive in send order).
+  Message recv(index_t from, int tag);
+
+  /// Synchronize all ranks.
+  void barrier();
+
+  /// Sum a value across ranks; every rank gets the total.
+  word_t allreduce_sum(word_t value);
+
+  /// Gather one value from each rank; every rank gets the full vector.
+  std::vector<word_t> allgather(word_t value);
+
+  /// All-to-all exchange: element [r] of `outgoing` goes to rank r; the
+  /// result holds what every rank sent here.
+  std::vector<Message> alltoall(std::vector<Message> outgoing);
+
+private:
+  friend struct detail::Runtime;
+  friend void run(index_t, const std::function<void(Comm&)>&);
+  Comm(detail::Runtime* rt, index_t rank) : rt_(rt), rank_(rank) {}
+  detail::Runtime* rt_;
+  index_t rank_;
+};
+
+/// Execute `fn` on `ranks` simulated ranks; returns when all finish.
+/// Rethrows the first rank exception.
+void run(index_t ranks, const std::function<void(Comm&)>& fn);
+
+} // namespace kronlab::dist

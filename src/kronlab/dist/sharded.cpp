@@ -1,0 +1,156 @@
+#include "kronlab/dist/sharded.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/grb/coo.hpp"
+#include "kronlab/kron/ground_truth.hpp"
+
+namespace kronlab::dist {
+
+Shard generate_shard(const kron::BipartiteKronecker& kp,
+                     const kron::PartitionedStream& ps, index_t rank) {
+  Shard shard;
+  shard.n = kp.num_vertices();
+  const auto [plo, phi] = ps.owned_product_rows(rank);
+  shard.row_begin = plo;
+  shard.row_end = phi;
+  grb::Coo<count_t> coo(phi - plo, shard.n);
+  coo.reserve(ps.entries_of(rank));
+  ps.for_each_entry(rank, [&](index_t p, index_t q) {
+    coo.push(p - plo, q, 1);
+  });
+  shard.rows = grb::Csr<count_t>::from_coo(coo);
+  return shard;
+}
+
+namespace {
+
+/// Tags for the two exchange phases.
+constexpr int kRequestTag = 1;
+constexpr int kRowsTag = 2;
+
+/// Owner of global row v given the rank-ordered cut vector.
+index_t owner_of(const std::vector<word_t>& row_begins, index_t v) {
+  // row_begins[r] = first row of rank r; ranks cover [0, n) in order.
+  index_t lo = 0;
+  index_t hi = static_cast<index_t>(row_begins.size()) - 1;
+  while (lo < hi) {
+    const index_t mid = (lo + hi + 1) / 2;
+    if (row_begins[static_cast<std::size_t>(mid)] <= v) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+} // namespace
+
+count_t distributed_global_butterflies(Comm& comm, const Shard& shard) {
+  const index_t p = comm.size();
+  // Every rank learns the global row layout.
+  const auto row_begins = comm.allgather(shard.row_begin);
+
+  // ---- phase 1: figure out which remote rows this rank needs ----------
+  // Wedge counting of owned v walks rows of every neighbor j of v.
+  std::vector<std::unordered_set<index_t>> needed(
+      static_cast<std::size_t>(p));
+  for (index_t lv = 0; lv < shard.rows.nrows(); ++lv) {
+    for (const index_t j : shard.rows.row_cols(lv)) {
+      if (!shard.owns(j)) {
+        needed[static_cast<std::size_t>(owner_of(row_begins, j))].insert(j);
+      }
+    }
+  }
+  std::vector<Message> requests(static_cast<std::size_t>(p));
+  for (index_t r = 0; r < p; ++r) {
+    requests[static_cast<std::size_t>(r)]
+        .assign(needed[static_cast<std::size_t>(r)].begin(),
+                needed[static_cast<std::size_t>(r)].end());
+  }
+  const auto incoming_requests = comm.alltoall(std::move(requests));
+
+  // ---- phase 2: serve the requested rows ------------------------------
+  std::vector<Message> replies(static_cast<std::size_t>(p));
+  for (index_t r = 0; r < p; ++r) {
+    Message& reply = replies[static_cast<std::size_t>(r)];
+    for (const word_t vw : incoming_requests[static_cast<std::size_t>(r)]) {
+      const auto v = static_cast<index_t>(vw);
+      KRONLAB_REQUIRE(shard.owns(v), "request routed to wrong owner");
+      const auto cols = shard.rows.row_cols(shard.local(v));
+      reply.push_back(v);
+      reply.push_back(static_cast<word_t>(cols.size()));
+      reply.insert(reply.end(), cols.begin(), cols.end());
+    }
+  }
+  const auto incoming_rows = comm.alltoall(std::move(replies));
+
+  // Ghost cache: global row id → column list.
+  std::unordered_map<index_t, std::vector<index_t>> ghost;
+  for (const Message& msg : incoming_rows) {
+    std::size_t i = 0;
+    while (i < msg.size()) {
+      const auto v = static_cast<index_t>(msg[i++]);
+      const auto deg = static_cast<std::size_t>(msg[i++]);
+      std::vector<index_t> cols(deg);
+      for (std::size_t k = 0; k < deg; ++k) {
+        cols[k] = static_cast<index_t>(msg[i++]);
+      }
+      ghost.emplace(v, std::move(cols));
+    }
+  }
+  const auto row_of = [&](index_t j) -> std::span<const index_t> {
+    if (shard.owns(j)) return shard.rows.row_cols(shard.local(j));
+    const auto it = ghost.find(j);
+    KRONLAB_DBG_ASSERT(it != ghost.end(), "missing ghost row");
+    return {it->second.data(), it->second.size()};
+  };
+
+  // ---- phase 3: local wedge counting of owned vertices ----------------
+  std::vector<count_t> cnt(static_cast<std::size_t>(shard.n), 0);
+  std::vector<index_t> touched;
+  count_t local_sum = 0;
+  for (index_t lv = 0; lv < shard.rows.nrows(); ++lv) {
+    const index_t v = shard.row_begin + lv;
+    touched.clear();
+    for (const index_t j : shard.rows.row_cols(lv)) {
+      for (const index_t k : row_of(j)) {
+        if (k == v) continue;
+        if (cnt[static_cast<std::size_t>(k)] == 0) touched.push_back(k);
+        ++cnt[static_cast<std::size_t>(k)];
+      }
+    }
+    for (const index_t k : touched) {
+      const count_t c = cnt[static_cast<std::size_t>(k)];
+      local_sum += c * (c - 1) / 2;
+      cnt[static_cast<std::size_t>(k)] = 0;
+    }
+  }
+
+  // Σ_v s_v = 4 · #C4.
+  return comm.allreduce_sum(local_sum) / 4;
+}
+
+count_t distributed_ground_truth_squares(
+    Comm& comm, const kron::BipartiteKronecker& kp,
+    const kron::PartitionedStream& ps) {
+  // Rank-local share of Σ_p s_C(p): the factored sum restricted to owned
+  // left-factor rows — Σ_s c_s · (Σ_{i owned} g_s[i]) · sum(h_s).
+  const auto sv = kron::vertex_squares(kp);
+  const auto [lo, hi] = ps.owned_left_rows(comm.rank());
+  count_t local = 0;
+  for (const auto& term : sv.terms()) {
+    count_t g_part = 0;
+    for (index_t i = lo; i < hi; ++i) g_part += term.g[i];
+    local += term.coeff * g_part * grb::reduce(term.h);
+  }
+  const count_t total = comm.allreduce_sum(local);
+  KRONLAB_DBG_ASSERT(total % (sv.divisor() * 4) == 0,
+                     "factored sum not divisible");
+  return total / sv.divisor() / 4;
+}
+
+} // namespace kronlab::dist

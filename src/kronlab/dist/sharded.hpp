@@ -1,0 +1,53 @@
+// kronlab/dist/sharded.hpp
+//
+// Distributed Kronecker generation and validation over the simulated
+// runtime (dist/comm.hpp) — the miniature of the paper group's
+// extreme-scale workflow: every rank generates its row shard of
+// C = M ⊗ B from replicated factor matrices (no communication), runs the
+// distributed analytic (global 4-cycle count via ghost-row exchange), and
+// the result is validated against the factored ground truth, which each
+// rank also evaluates for its own rows in factor space.
+
+#pragma once
+
+#include "kronlab/dist/comm.hpp"
+#include "kronlab/grb/csr.hpp"
+#include "kronlab/kron/partition.hpp"
+#include "kronlab/kron/product.hpp"
+
+namespace kronlab::dist {
+
+/// A row shard of a global n×n adjacency: this rank owns rows
+/// [row_begin, row_end); `rows` is their local CSR with global column ids.
+struct Shard {
+  index_t n = 0;
+  index_t row_begin = 0;
+  index_t row_end = 0;
+  grb::Csr<count_t> rows;
+
+  [[nodiscard]] bool owns(index_t v) const {
+    return v >= row_begin && v < row_end;
+  }
+  [[nodiscard]] index_t local(index_t v) const { return v - row_begin; }
+};
+
+/// Generate this rank's shard of the product — communication-free, from
+/// the replicated factors.
+Shard generate_shard(const kron::BipartiteKronecker& kp,
+                     const kron::PartitionedStream& ps, index_t rank);
+
+/// Distributed exact global 4-cycle count over a row-sharded graph:
+/// 2-phase ghost-row exchange (request ids, receive rows), then local
+/// wedge counting of owned vertices, then an all-reduce.  Every rank
+/// returns the global count.  The sharding must cover [0, n) disjointly
+/// across ranks, in rank order.
+count_t distributed_global_butterflies(Comm& comm, const Shard& shard);
+
+/// Each rank's share of the *ground-truth* Σ_p s_C(p) over its owned
+/// product rows, evaluated in factor space (no product data touched);
+/// all-reduced so every rank returns the exact global 4-cycle count.
+count_t distributed_ground_truth_squares(Comm& comm,
+                                         const kron::BipartiteKronecker& kp,
+                                         const kron::PartitionedStream& ps);
+
+} // namespace kronlab::dist

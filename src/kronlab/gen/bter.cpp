@@ -1,0 +1,28 @@
+#include "kronlab/gen/bter.hpp"
+
+#include "kronlab/common/error.hpp"
+
+namespace kronlab::gen {
+
+graph::Adjacency bter_bipartite(const BterParams& p, Rng& rng) {
+  KRONLAB_REQUIRE(p.blocks >= 1 && p.block_u >= 1 && p.block_w >= 1,
+                  "bter: block geometry must be positive");
+  KRONLAB_REQUIRE(p.p_in >= 0.0 && p.p_in <= 1.0, "bter: p_in out of range");
+  KRONLAB_REQUIRE(p.p_out >= 0.0 && p.p_out <= 1.0,
+                  "bter: p_out out of range");
+  const index_t nu = p.blocks * p.block_u;
+  const index_t nw = p.blocks * p.block_w;
+  std::vector<std::pair<index_t, index_t>> edges;
+  for (index_t u = 0; u < nu; ++u) {
+    const index_t bu = u / p.block_u;
+    for (index_t w = 0; w < nw; ++w) {
+      const index_t bw = w / p.block_w;
+      if (rng.bernoulli(bu == bw ? p.p_in : p.p_out)) {
+        edges.emplace_back(u, nu + w);
+      }
+    }
+  }
+  return graph::from_undirected_edges(nu + nw, edges);
+}
+
+} // namespace kronlab::gen

@@ -1,0 +1,30 @@
+// kronlab/gen/bter.hpp
+//
+// BTER-lite: a block two-level Erdős–Rényi bipartite generator in the
+// spirit of Aksoy–Kolda–Pinar [27], the stochastic community-structure
+// baseline the paper cites.  Left and right vertices are grouped into
+// affinity blocks; each (left-block, right-block) pair on the diagonal is
+// dense ER, everything else is sparse background ER.
+//
+// kronlab uses it for the community benches: stochastic block structure
+// gives communities *in expectation*, while the Kronecker construction of
+// §III-C gives exact Thm-7 counts — the contrast the paper draws.
+
+#pragma once
+
+#include "kronlab/common/random.hpp"
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::gen {
+
+struct BterParams {
+  index_t blocks = 4;        ///< number of diagonal affinity blocks
+  index_t block_u = 8;       ///< left vertices per block
+  index_t block_w = 8;       ///< right vertices per block
+  double p_in = 0.4;         ///< ER probability inside diagonal blocks
+  double p_out = 0.01;       ///< ER probability across blocks
+};
+
+graph::Adjacency bter_bipartite(const BterParams& p, Rng& rng);
+
+} // namespace kronlab::gen

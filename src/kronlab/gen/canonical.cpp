@@ -1,0 +1,154 @@
+#include "kronlab/gen/canonical.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/grb/coo.hpp"
+
+namespace kronlab::gen {
+
+namespace {
+using EdgeList = std::vector<std::pair<index_t, index_t>>;
+} // namespace
+
+Adjacency path_graph(index_t n) {
+  KRONLAB_REQUIRE(n >= 1, "path_graph requires n >= 1");
+  EdgeList edges;
+  for (index_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return graph::from_undirected_edges(n, edges);
+}
+
+Adjacency cycle_graph(index_t n) {
+  KRONLAB_REQUIRE(n >= 3, "cycle_graph requires n >= 3");
+  EdgeList edges;
+  for (index_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return graph::from_undirected_edges(n, edges);
+}
+
+Adjacency star_graph(index_t leaves) {
+  KRONLAB_REQUIRE(leaves >= 1, "star_graph requires at least one leaf");
+  EdgeList edges;
+  for (index_t i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return graph::from_undirected_edges(leaves + 1, edges);
+}
+
+Adjacency complete_graph(index_t n) {
+  KRONLAB_REQUIRE(n >= 1, "complete_graph requires n >= 1");
+  EdgeList edges;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return graph::from_undirected_edges(n, edges);
+}
+
+Adjacency complete_bipartite(index_t nu, index_t nw) {
+  KRONLAB_REQUIRE(nu >= 1 && nw >= 1,
+                  "complete_bipartite requires both sides non-empty");
+  EdgeList edges;
+  for (index_t i = 0; i < nu; ++i) {
+    for (index_t j = 0; j < nw; ++j) edges.emplace_back(i, nu + j);
+  }
+  return graph::from_undirected_edges(nu + nw, edges);
+}
+
+Adjacency crown_graph(index_t n) {
+  KRONLAB_REQUIRE(n >= 3, "crown_graph requires n >= 3");
+  EdgeList edges;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (i != j) edges.emplace_back(i, n + j);
+    }
+  }
+  return graph::from_undirected_edges(2 * n, edges);
+}
+
+Adjacency hypercube(int d) {
+  KRONLAB_REQUIRE(d >= 0 && d < 20, "hypercube requires 0 <= d < 20");
+  const index_t n = index_t{1} << d;
+  EdgeList edges;
+  for (index_t v = 0; v < n; ++v) {
+    for (int b = 0; b < d; ++b) {
+      const index_t u = v ^ (index_t{1} << b);
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  return graph::from_undirected_edges(n, edges);
+}
+
+Adjacency grid_graph(index_t rows, index_t cols) {
+  KRONLAB_REQUIRE(rows >= 1 && cols >= 1, "grid_graph requires rows,cols >= 1");
+  EdgeList edges;
+  const auto id = [cols](index_t r, index_t c) { return r * cols + c; };
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return graph::from_undirected_edges(rows * cols, edges);
+}
+
+Adjacency double_star(index_t a, index_t b) {
+  KRONLAB_REQUIRE(a >= 0 && b >= 0, "double_star requires a,b >= 0");
+  EdgeList edges;
+  edges.emplace_back(0, 1); // the two hubs
+  for (index_t i = 0; i < a; ++i) edges.emplace_back(0, 2 + i);
+  for (index_t i = 0; i < b; ++i) edges.emplace_back(1, 2 + a + i);
+  return graph::from_undirected_edges(2 + a + b, edges);
+}
+
+Adjacency triangle_with_tail(index_t tail) {
+  KRONLAB_REQUIRE(tail >= 0, "triangle_with_tail requires tail >= 0");
+  EdgeList edges{{0, 1}, {1, 2}, {2, 0}};
+  for (index_t i = 0; i < tail; ++i) edges.emplace_back(2 + i, 3 + i);
+  return graph::from_undirected_edges(3 + tail, edges);
+}
+
+Adjacency wheel_graph(index_t n) {
+  KRONLAB_REQUIRE(n >= 3, "wheel_graph requires rim size n >= 3");
+  EdgeList edges;
+  for (index_t i = 0; i < n; ++i) {
+    edges.emplace_back(1 + i, 1 + (i + 1) % n); // rim cycle
+    edges.emplace_back(0, 1 + i);               // spokes
+  }
+  return graph::from_undirected_edges(n + 1, edges);
+}
+
+Adjacency book_graph(index_t pages) {
+  KRONLAB_REQUIRE(pages >= 1, "book_graph requires at least one page");
+  // Vertices: 0 = u, 1 = v (the spine edge), then (x_i, y_i) per page.
+  EdgeList edges{{0, 1}};
+  for (index_t i = 0; i < pages; ++i) {
+    const index_t x = 2 + 2 * i;
+    const index_t y = 3 + 2 * i;
+    edges.emplace_back(0, x);
+    edges.emplace_back(x, y);
+    edges.emplace_back(y, 1);
+  }
+  return graph::from_undirected_edges(2 + 2 * pages, edges);
+}
+
+Adjacency disjoint_union(const Adjacency& a, const Adjacency& b) {
+  KRONLAB_REQUIRE(a.nrows() == a.ncols() && b.nrows() == b.ncols(),
+                  "disjoint_union requires square adjacencies");
+  grb::Coo<count_t> coo(a.nrows() + b.nrows(), a.ncols() + b.ncols());
+  coo.reserve(a.nnz() + b.nnz());
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.push(i, cols[k], vals[k]);
+    }
+  }
+  for (index_t i = 0; i < b.nrows(); ++i) {
+    const auto cols = b.row_cols(i);
+    const auto vals = b.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.push(a.nrows() + i, a.ncols() + cols[k], vals[k]);
+    }
+  }
+  return Adjacency::from_coo(coo);
+}
+
+} // namespace kronlab::gen

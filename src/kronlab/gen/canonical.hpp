@@ -1,0 +1,61 @@
+// kronlab/gen/canonical.hpp
+//
+// Canonical small factor graphs.  The paper's Figs. 1 and 3 build Kronecker
+// products from graphs of this size; these are also the factor families used
+// throughout the test suite.
+
+#pragma once
+
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::gen {
+
+using graph::Adjacency;
+
+/// Path P_n (n vertices, n−1 edges).  Bipartite, connected for n ≥ 1.
+Adjacency path_graph(index_t n);
+
+/// Cycle C_n (n ≥ 3).  Bipartite iff n is even.
+Adjacency cycle_graph(index_t n);
+
+/// Star S_n: one hub + n leaves.  Bipartite, connected.
+Adjacency star_graph(index_t leaves);
+
+/// Complete graph K_n.  Non-bipartite for n ≥ 3.
+Adjacency complete_graph(index_t n);
+
+/// Complete bipartite K_{nu,nw}.
+Adjacency complete_bipartite(index_t nu, index_t nw);
+
+/// Crown graph: K_{n,n} minus a perfect matching (n ≥ 3).  Bipartite,
+/// connected, 4-cycle rich.
+Adjacency crown_graph(index_t n);
+
+/// d-dimensional hypercube Q_d.  Bipartite, connected.
+Adjacency hypercube(int d);
+
+/// Rectangular grid (r×c vertices, 4-neighborhood).  Bipartite, connected.
+Adjacency grid_graph(index_t rows, index_t cols);
+
+/// Double star: two adjacent hubs with `a` and `b` private leaves.
+/// Bipartite, connected, square-free.
+Adjacency double_star(index_t a, index_t b);
+
+/// A triangle with a pendant path of `tail` vertices — the smallest
+/// interesting connected non-bipartite factor family for Assumption 1(i).
+Adjacency triangle_with_tail(index_t tail);
+
+/// Wheel W_n: a hub joined to every vertex of C_n (n ≥ 3).
+/// Non-bipartite, connected — a natural Assumption 1(i) left factor with
+/// hub skew.
+Adjacency wheel_graph(index_t n);
+
+/// Quadrilateral book B_n: n squares ("pages") sharing one common edge.
+/// Bipartite, connected, with exactly n 4-cycles — a factor family where
+/// every square passes through one edge (the spine).
+Adjacency book_graph(index_t pages);
+
+/// Disjoint union (block diagonal) of two graphs.
+Adjacency disjoint_union(const Adjacency& a, const Adjacency& b);
+
+} // namespace kronlab::gen

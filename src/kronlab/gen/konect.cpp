@@ -1,0 +1,23 @@
+#include "kronlab/gen/konect.hpp"
+
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/grb/coo.hpp"
+
+namespace kronlab::gen {
+
+graph::Adjacency bipartite_adjacency_from_edge_list(
+    const grb::BipartiteEdgeList& el) {
+  grb::Coo<count_t> coo(el.n_left, el.n_right);
+  coo.reserve(static_cast<offset_t>(el.edges.size()));
+  for (const auto& [u, w] : el.edges) coo.push(u, w, 1);
+  auto x = grb::Csr<count_t>::from_coo(coo);
+  for (auto& v : x.vals()) v = 1; // collapse duplicate edges
+  return graph::bipartite_from_biadjacency(x);
+}
+
+graph::Adjacency load_konect_bipartite(const std::string& path) {
+  return bipartite_adjacency_from_edge_list(
+      grb::read_bipartite_edge_list_file(path));
+}
+
+} // namespace kronlab::gen

@@ -1,0 +1,26 @@
+// kronlab/gen/konect.hpp
+//
+// Bridge from KONECT-style two-mode edge lists to bipartite adjacency
+// matrices.  The paper's experiment (§IV) loads the `unicode` language
+// network from KONECT; if you have the real file, load it here — otherwise
+// use gen::unicode_like() (see unicode_like.hpp) as the documented
+// substitution.
+
+#pragma once
+
+#include <string>
+
+#include "kronlab/graph/graph.hpp"
+#include "kronlab/grb/io.hpp"
+
+namespace kronlab::gen {
+
+/// Convert a parsed two-mode edge list to the block anti-diagonal bipartite
+/// adjacency of Def. 7 (U vertices first).
+graph::Adjacency bipartite_adjacency_from_edge_list(
+    const grb::BipartiteEdgeList& el);
+
+/// Load a KONECT out.* two-mode file as a bipartite adjacency.
+graph::Adjacency load_konect_bipartite(const std::string& path);
+
+} // namespace kronlab::gen

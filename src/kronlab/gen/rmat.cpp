@@ -1,0 +1,60 @@
+#include "kronlab/gen/rmat.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "kronlab/common/error.hpp"
+
+namespace kronlab::gen {
+
+std::pair<index_t, index_t> rmat_edge(const RmatParams& p, Rng& rng) {
+  index_t u = 0, w = 0;
+  // Descend the implicit 2x2 recursion independently per level; noise on
+  // the quadrant probabilities is omitted (classic R-MAT).
+  const int levels = std::max(p.scale_u, p.scale_w);
+  for (int level = 0; level < levels; ++level) {
+    const double r = rng.next_double();
+    int qu = 0, qw = 0;
+    if (r < p.a) {
+      qu = 0;
+      qw = 0;
+    } else if (r < p.a + p.b) {
+      qu = 0;
+      qw = 1;
+    } else if (r < p.a + p.b + p.c) {
+      qu = 1;
+      qw = 0;
+    } else {
+      qu = 1;
+      qw = 1;
+    }
+    if (level < p.scale_u) u = (u << 1) | qu;
+    if (level < p.scale_w) w = (w << 1) | qw;
+  }
+  return {u, w};
+}
+
+graph::Adjacency rmat_bipartite(const RmatParams& p, Rng& rng) {
+  KRONLAB_REQUIRE(p.scale_u >= 0 && p.scale_u < 30, "scale_u out of range");
+  KRONLAB_REQUIRE(p.scale_w >= 0 && p.scale_w < 30, "scale_w out of range");
+  KRONLAB_REQUIRE(std::abs(p.a + p.b + p.c + p.d - 1.0) < 1e-9,
+                  "quadrant probabilities must sum to 1");
+  const index_t nu = index_t{1} << p.scale_u;
+  const index_t nw = index_t{1} << p.scale_w;
+  std::vector<std::pair<index_t, index_t>> edges;
+  edges.reserve(static_cast<std::size_t>(p.edges));
+  std::unordered_set<std::uint64_t> seen;
+  for (count_t e = 0; e < p.edges; ++e) {
+    const auto [u, w] = rmat_edge(p, rng);
+    if (p.dedup) {
+      const auto key = static_cast<std::uint64_t>(u) *
+                           static_cast<std::uint64_t>(nw) +
+                       static_cast<std::uint64_t>(w);
+      if (!seen.insert(key).second) continue;
+    }
+    edges.emplace_back(u, nu + w);
+  }
+  return graph::from_undirected_edges(nu + nw, edges);
+}
+
+} // namespace kronlab::gen

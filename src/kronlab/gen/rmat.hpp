@@ -1,0 +1,35 @@
+// kronlab/gen/rmat.hpp
+//
+// Bipartite R-MAT — the *stochastic* Kronecker generator the paper contrasts
+// against (§I, [23]).  Edges are drawn by recursive quadrant descent on the
+// 2^scale_u × 2^scale_w biadjacency grid with probabilities (a, b, c, d).
+//
+// Included as the comparison baseline for generation benches (X2): it shows
+// what nonstochastic Kronecker generation buys (exact ground truth) and what
+// it costs relative to a throughput-oriented sampler.
+
+#pragma once
+
+#include "kronlab/common/random.hpp"
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::gen {
+
+struct RmatParams {
+  int scale_u = 8;   ///< left side has 2^scale_u vertices
+  int scale_w = 8;   ///< right side has 2^scale_w vertices
+  count_t edges = 1 << 12;
+  double a = 0.57;   ///< quadrant probabilities, a+b+c+d must be 1
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  bool dedup = true; ///< drop duplicate edges (graph may end up with < edges)
+};
+
+/// Sample one bipartite edge (u, w) with w in [0, 2^scale_w).
+std::pair<index_t, index_t> rmat_edge(const RmatParams& p, Rng& rng);
+
+/// Generate the full graph as a (2^scale_u + 2^scale_w)-vertex adjacency.
+graph::Adjacency rmat_bipartite(const RmatParams& p, Rng& rng);
+
+} // namespace kronlab::gen

@@ -1,0 +1,31 @@
+// kronlab/gen/spec.hpp
+//
+// Textual factor specifications, shared by the kronlab_gen CLI and any
+// harness that wants to name factor graphs in config files.
+//
+// Grammar (case-sensitive, comma-separated integer arguments):
+//   path:N            cycle:N           star:LEAVES      complete:N
+//   kbip:NU,NW        crown:N           hypercube:D      grid:R,C
+//   dstar:A,B         tritail:T
+//   randbip:NU,NW,M,SEED        connbip:NU,NW,M,SEED
+//   prefbip:NU,NW,M,SEED        nonbip:N,M,SEED
+//   unicode                     (the canonical Table-I stand-in factor)
+//   konect:PATH                 (two-mode edge-list file)
+//   mtx:PATH                    (MatrixMarket adjacency; must be square)
+
+#pragma once
+
+#include <string>
+
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::gen {
+
+/// Parse `spec` into an adjacency matrix.  Throws invalid_argument for
+/// unknown names / malformed arguments, io_error for unreadable files.
+graph::Adjacency parse_graph_spec(const std::string& spec);
+
+/// Human-readable list of accepted spec forms (for --help texts).
+std::string graph_spec_help();
+
+} // namespace kronlab::gen

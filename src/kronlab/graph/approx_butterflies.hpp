@@ -1,0 +1,55 @@
+// kronlab/graph/approx_butterflies.hpp
+//
+// Sampling-based approximate global 4-cycle counting.
+//
+// §I motivates the generators as validation instruments "for both direct
+// and approximate computation techniques".  These are the standard
+// estimator families an approximate butterfly-counting paper would
+// benchmark, implemented so kronlab's ground truth can score them:
+//
+//  * vertex sampling:  E[s_v · n / 4] over uniform v — unbiased, variance
+//    driven by the skew of the per-vertex counts;
+//  * edge sampling:    E[◇_e · m / 4] over uniform edges e — unbiased,
+//    usually lower variance on heavy-tail graphs;
+//  * wedge sampling:   sample a uniform wedge (path x–c–y), test whether a
+//    uniformly chosen pair of its endpoints' incident... classic
+//    formulation: a wedge closes into W/(choose 2) squares; we estimate
+//    the wedge-closure probability and rescale by the exact wedge count
+//    (Σ_v C(d_v, 2)), which is O(n) to compute.
+//
+// All estimators consume a caller-provided Rng so runs are reproducible.
+
+#pragma once
+
+#include "kronlab/common/random.hpp"
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+/// Result of one estimation run.
+struct ButterflyEstimate {
+  double estimate = 0.0;
+  index_t samples = 0;
+};
+
+/// Uniform-vertex estimator: mean of s_v over sampled vertices, rescaled
+/// by n/4.  Exact per-vertex counts are computed lazily per sample via
+/// wedge counting around the vertex (O(Σ_{j∈N(v)} d_j) per sample).
+ButterflyEstimate approx_butterflies_vertex(const Adjacency& a,
+                                            index_t samples, Rng& rng);
+
+/// Uniform-edge estimator: mean of ◇_e over sampled edges, rescaled by
+/// m/4 (m = undirected edge count).
+ButterflyEstimate approx_butterflies_edge(const Adjacency& a,
+                                          index_t samples, Rng& rng);
+
+/// Wedge-closure estimator: W = Σ_v C(d_v,2) wedges exist; a uniform
+/// wedge (x, c, y) closes iff x and y share a neighbor besides c; each
+/// square contains exactly 4 wedges, so #C4 = W·Pr[closure]/4 with
+/// Pr[closure] estimated as the fraction of sampled wedges whose endpoint
+/// pair has a second common neighbor... precisely: the number of squares
+/// through a wedge is (common(x,y) − 1); #C4 = W·E[common−1]/4.
+ButterflyEstimate approx_butterflies_wedge(const Adjacency& a,
+                                           index_t samples, Rng& rng);
+
+} // namespace kronlab::graph

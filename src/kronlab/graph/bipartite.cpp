@@ -1,0 +1,115 @@
+#include "kronlab/graph/bipartite.hpp"
+
+#include <deque>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/grb/coo.hpp"
+
+namespace kronlab::graph {
+
+index_t Bipartition::size_u() const {
+  index_t n = 0;
+  for (const int s : side) n += (s == 0);
+  return n;
+}
+
+index_t Bipartition::size_w() const {
+  return static_cast<index_t>(side.size()) - size_u();
+}
+
+std::vector<index_t> Bipartition::u_vertices() const {
+  std::vector<index_t> v;
+  for (std::size_t i = 0; i < side.size(); ++i) {
+    if (side[i] == 0) v.push_back(static_cast<index_t>(i));
+  }
+  return v;
+}
+
+std::vector<index_t> Bipartition::w_vertices() const {
+  std::vector<index_t> v;
+  for (std::size_t i = 0; i < side.size(); ++i) {
+    if (side[i] == 1) v.push_back(static_cast<index_t>(i));
+  }
+  return v;
+}
+
+std::optional<Bipartition> two_color(const Adjacency& a) {
+  KRONLAB_REQUIRE(a.nrows() == a.ncols(),
+                  "two_color requires a square adjacency");
+  const auto n = static_cast<std::size_t>(a.nrows());
+  std::vector<int> side(n, -1);
+  std::deque<index_t> frontier;
+  for (index_t s = 0; s < a.nrows(); ++s) {
+    if (side[static_cast<std::size_t>(s)] != -1) continue;
+    side[static_cast<std::size_t>(s)] = 0;
+    frontier.push_back(s);
+    while (!frontier.empty()) {
+      const index_t u = frontier.front();
+      frontier.pop_front();
+      const int su = side[static_cast<std::size_t>(u)];
+      for (const index_t v : a.row_cols(u)) {
+        if (v == u) return std::nullopt; // self loop = odd cycle
+        auto& sv = side[static_cast<std::size_t>(v)];
+        if (sv == -1) {
+          sv = 1 - su;
+          frontier.push_back(v);
+        } else if (sv == su) {
+          return std::nullopt; // odd cycle
+        }
+      }
+    }
+  }
+  return Bipartition{std::move(side)};
+}
+
+bool is_bipartite(const Adjacency& a) { return two_color(a).has_value(); }
+
+Adjacency bipartite_from_biadjacency(const grb::Csr<count_t>& x) {
+  const index_t nu = x.nrows();
+  const index_t nw = x.ncols();
+  grb::Coo<count_t> coo(nu + nw, nu + nw);
+  coo.reserve(2 * x.nnz());
+  for (index_t i = 0; i < nu; ++i) {
+    const auto cols = x.row_cols(i);
+    const auto vals = x.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.push(i, nu + cols[k], vals[k]);
+      coo.push(nu + cols[k], i, vals[k]);
+    }
+  }
+  return Adjacency::from_coo(coo);
+}
+
+grb::Csr<count_t> biadjacency_block(const Adjacency& a, index_t n_u) {
+  KRONLAB_REQUIRE(a.nrows() == a.ncols(),
+                  "biadjacency_block requires a square adjacency");
+  KRONLAB_REQUIRE(n_u >= 0 && n_u <= a.nrows(), "n_u out of range");
+  const index_t n_w = a.nrows() - n_u;
+  grb::Coo<count_t> coo(n_u, n_w);
+  for (index_t i = 0; i < n_u; ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] < n_u) {
+        throw domain_error(
+            "biadjacency_block: edge within the U side — adjacency is not "
+            "ordered block anti-diagonally");
+      }
+      coo.push(i, cols[k] - n_u, vals[k]);
+    }
+  }
+  // Rows n_u.. must only point back into U (symmetry gives us this if the
+  // upper block was clean, but verify to keep the contract tight).
+  for (index_t i = n_u; i < a.nrows(); ++i) {
+    for (const index_t c : a.row_cols(i)) {
+      if (c >= n_u) {
+        throw domain_error(
+            "biadjacency_block: edge within the W side — adjacency is not "
+            "ordered block anti-diagonally");
+      }
+    }
+  }
+  return grb::Csr<count_t>::from_coo(coo);
+}
+
+} // namespace kronlab::graph

@@ -1,0 +1,42 @@
+// kronlab/graph/bipartite.hpp
+//
+// Bipartiteness testing and two-mode structure (Def. 7).
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+/// A two-coloring of a bipartite graph: side[v] ∈ {0, 1}; side 0 is 𝒰,
+/// side 1 is 𝒲.  Isolated vertices are assigned side 0.
+struct Bipartition {
+  std::vector<int> side;
+
+  [[nodiscard]] index_t size_u() const;
+  [[nodiscard]] index_t size_w() const;
+
+  /// Vertex ids of each side.
+  [[nodiscard]] std::vector<index_t> u_vertices() const;
+  [[nodiscard]] std::vector<index_t> w_vertices() const;
+};
+
+/// Attempt to 2-color `a`; nullopt iff the graph has an odd cycle
+/// (including any self loop).
+std::optional<Bipartition> two_color(const Adjacency& a);
+
+/// True iff the graph is bipartite.
+bool is_bipartite(const Adjacency& a);
+
+/// Build the block anti-diagonal adjacency of Def. 7 from a two-mode
+/// biadjacency X (|U|×|W|): vertices [0,|U|) are 𝒰, [|U|, |U|+|W|) are 𝒲.
+Adjacency bipartite_from_biadjacency(const grb::Csr<count_t>& x);
+
+/// Extract the |U|×|W| biadjacency block X_A from a bipartite adjacency
+/// ordered with 𝒰 before 𝒲 (throws if edges exist within a side).
+grb::Csr<count_t> biadjacency_block(const Adjacency& a, index_t n_u);
+
+} // namespace kronlab::graph

@@ -1,0 +1,59 @@
+// kronlab/graph/bipartite_clustering.hpp
+//
+// Bipartite clustering coefficients — the §III-B3 context.
+//
+// With no triangles, bipartite clustering is defined through 4-cycles.
+// The literature the paper cites offers several notions:
+//
+//  * Robins–Alexander [14]: the global coefficient
+//        C4 = 4·(#4-cycles) / (#paths of length 3),
+//    "what fraction of 3-paths close into a square".
+//  * Opsahl [16]: the same closure idea localized per vertex.
+//  * Aksoy–Kolda–Pinar [27]: the per-edge "metamorphosis coefficient"
+//    Γ(i,j) = ◇_ij / ((d_i−1)(d_j−1)) — the paper's Def. 10, implemented
+//    in kron/clustering.hpp.
+//
+// kronlab provides the global and per-vertex variants here, plus a
+// factor-space ground-truth evaluation of the Robins–Alexander coefficient
+// for Kronecker products (every ingredient factorizes).
+
+#pragma once
+
+#include "kronlab/graph/graph.hpp"
+#include "kronlab/kron/product.hpp"
+
+namespace kronlab::graph {
+
+/// Number of paths with 3 edges (4 distinct vertices), counted once per
+/// path.  For loop-free bipartite graphs this is
+/// Σ_{(i,j)∈E} (d_i−1)(d_j−1) over undirected edges (the two interior
+/// vertices determine the path; bipartiteness rules out coincident
+/// endpoints).  Requires bipartite loop-free input.
+count_t three_paths(const Adjacency& a);
+
+/// Robins–Alexander global bipartite clustering coefficient:
+/// 4·#C4 / #P3, or 0 if the graph has no 3-paths.
+double robins_alexander_cc(const Adjacency& a);
+
+/// Opsahl-style local closure per vertex: the fraction of 3-paths with
+/// midpoint-edge at v... localized as (4-cycles at v) / (3-paths centered
+/// at v), where a 3-path is "centered" at v when v is one of its two
+/// interior vertices.  Degree-1 interior vertices yield 0.
+grb::Vector<double> local_closure(const Adjacency& a);
+
+} // namespace kronlab::graph
+
+namespace kronlab::kron {
+
+/// Ground-truth #P3 of a product C = M ⊗ B in factor space:
+///   #P3(C) = ½ [ (d_Mᵗ M d_M)·(d_Bᵗ B d_B)
+///                − 2·(Σ_i d_M(i)²)·(Σ_k d_B(k)²)
+///                + nnz(M)·nnz(B) ],
+/// every ingredient factor-sized.  Requires the product to be bipartite
+/// (B bipartite), which makes the 3-walk/3-path distinction vanish.
+count_t product_three_paths(const BipartiteKronecker& kp);
+
+/// Ground-truth Robins–Alexander coefficient of the product.
+double product_robins_alexander_cc(const BipartiteKronecker& kp);
+
+} // namespace kronlab::kron

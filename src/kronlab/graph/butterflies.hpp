@@ -1,0 +1,45 @@
+// kronlab/graph/butterflies.hpp
+//
+// Direct (combinatorial) 4-cycle — "square", "butterfly" — counting.
+//
+// These counters are deliberately formula-independent: they enumerate
+// wedges, so they serve as the ground-truth *validators* for the Kronecker
+// formulas of §III-B (and conversely, the formulas validate them — that
+// mutual check is the paper's use case).
+//
+// Algorithm (wedge counting): for a vertex i, let cnt[k] = |N(i) ∩ N(k)| be
+// the number of wedges i–·–k for every second-neighbor k.  Then
+//   s_i = Σ_{k≠i} C(cnt[k], 2)          (vertex participation, Def. 8)
+//   ◇_ij = Σ_{k∈N(j)\{i}} (cnt[k] − 1)  (edge participation, Def. 9)
+//   #C4 = ¼ Σ_i Σ_{k≠i} C(cnt[k], 2)    (each square has two diagonals,
+//                                        each seen from both endpoints)
+// Work is O(Σ_i Σ_{j∈N(i)} d_j) = O(Σ_j d_j²), the cost the paper quotes
+// for the shortened-BFS-into-second-neighborhood approach.
+
+#pragma once
+
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+/// Per-vertex 4-cycle participation s (Def. 8), by wedge counting.
+/// Requires an undirected, loop-free adjacency.
+grb::Vector<count_t> vertex_butterflies(const Adjacency& a);
+
+/// Per-edge 4-cycle participation ◇ (Def. 9), same structure as `a`.
+grb::Csr<count_t> edge_butterflies(const Adjacency& a);
+
+/// Global number of 4-cycles.
+count_t global_butterflies(const Adjacency& a);
+
+/// Brute-force O(n⁴) global count by enumerating ordered 4-tuples — an
+/// independent oracle for testing on tiny graphs (n ≲ 64).
+count_t global_butterflies_naive(const Adjacency& a);
+
+/// Brute-force per-vertex counts, same regime as global_butterflies_naive.
+grb::Vector<count_t> vertex_butterflies_naive(const Adjacency& a);
+
+/// Brute-force per-edge counts on tiny graphs.
+grb::Csr<count_t> edge_butterflies_naive(const Adjacency& a);
+
+} // namespace kronlab::graph

@@ -1,0 +1,65 @@
+#include "kronlab/graph/community.hpp"
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::graph {
+
+grb::Vector<count_t> BipartiteSubset::indicator(index_t n) const {
+  grb::Vector<count_t> ind(n, 0);
+  for (const index_t v : r) {
+    KRONLAB_REQUIRE(v >= 0 && v < n, "subset member out of range");
+    ind[v] = 1;
+  }
+  for (const index_t v : t) {
+    KRONLAB_REQUIRE(v >= 0 && v < n, "subset member out of range");
+    KRONLAB_REQUIRE(ind[v] == 0, "subset member listed on both sides");
+    ind[v] = 1;
+  }
+  return ind;
+}
+
+count_t internal_edges(const Adjacency& a,
+                       const grb::Vector<count_t>& ind) {
+  return grb::dot(ind, grb::mxv(a, ind)) / 2;
+}
+
+count_t external_edges(const Adjacency& a,
+                       const grb::Vector<count_t>& ind) {
+  grb::Vector<count_t> comp(ind.size());
+  for (index_t i = 0; i < ind.size(); ++i) comp[i] = 1 - ind[i];
+  return grb::dot(ind, grb::mxv(a, comp));
+}
+
+CommunityStats community_stats(const Adjacency& a, const Bipartition& part,
+                               const BipartiteSubset& s) {
+  KRONLAB_REQUIRE(static_cast<index_t>(part.side.size()) == a.nrows(),
+                  "bipartition size mismatch");
+  for (const index_t v : s.r) {
+    KRONLAB_REQUIRE(part.side[static_cast<std::size_t>(v)] == 0,
+                    "R member is not on side U");
+  }
+  for (const index_t v : s.t) {
+    KRONLAB_REQUIRE(part.side[static_cast<std::size_t>(v)] == 1,
+                    "T member is not on side W");
+  }
+
+  const auto ind = s.indicator(a.nrows());
+  CommunityStats st;
+  st.m_in = internal_edges(a, ind);
+  st.m_out = external_edges(a, ind);
+
+  const auto nr = static_cast<double>(s.r.size());
+  const auto nt = static_cast<double>(s.t.size());
+  const auto nu = static_cast<double>(part.size_u());
+  const auto nw = static_cast<double>(part.size_w());
+
+  const double denom_in = nr * nt;
+  st.rho_in = denom_in > 0 ? static_cast<double>(st.m_in) / denom_in : 0.0;
+  const double denom_out = nr * nw + nu * nt - 2.0 * nr * nt;
+  st.rho_out =
+      denom_out > 0 ? static_cast<double>(st.m_out) / denom_out : 0.0;
+  return st;
+}
+
+} // namespace kronlab::graph

@@ -1,0 +1,51 @@
+// kronlab/graph/community.hpp
+//
+// Bipartite community (dense vertex subset) metrics — Def. 11.
+//
+// A community in a bipartite graph 𝒢_A is S = R ∪ T with R ⊂ 𝒰, T ⊂ 𝒲.
+// Internal/external edge counts are quadratic forms of the indicator vector
+// 1_S; densities normalize by the bipartite-complete counts.
+
+#pragma once
+
+#include <vector>
+
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+/// A vertex subset of a bipartite graph, split by side.
+struct BipartiteSubset {
+  std::vector<index_t> r; ///< members in 𝒰 (left side)
+  std::vector<index_t> t; ///< members in 𝒲 (right side)
+
+  [[nodiscard]] index_t size() const {
+    return static_cast<index_t>(r.size() + t.size());
+  }
+
+  /// Indicator vector 1_S of length n.
+  [[nodiscard]] grb::Vector<count_t> indicator(index_t n) const;
+};
+
+/// Internal/external edge counts and densities of S (Def. 11).
+struct CommunityStats {
+  count_t m_in = 0;      ///< edges with both endpoints in S
+  count_t m_out = 0;     ///< edges with exactly one endpoint in S
+  double rho_in = 0.0;   ///< m_in / (|R|·|T|)
+  double rho_out = 0.0;  ///< m_out / (|R||𝒲| + |𝒰||T| − 2|R||T|)
+};
+
+/// Compute Def. 11 statistics.  `part` must be a valid two-coloring of `a`
+/// and every member of `s.r` / `s.t` must lie on side 0 / side 1.
+CommunityStats community_stats(const Adjacency& a, const Bipartition& part,
+                               const BipartiteSubset& s);
+
+/// m_in(S) = ½·1_Sᵗ A 1_S — exposed separately for testing the algebraic
+/// path against the combinatorial one.
+count_t internal_edges(const Adjacency& a, const grb::Vector<count_t>& ind);
+
+/// m_out(S) = 1_Sᵗ A (1 − 1_S).
+count_t external_edges(const Adjacency& a, const grb::Vector<count_t>& ind);
+
+} // namespace kronlab::graph

@@ -1,0 +1,70 @@
+#include "kronlab/graph/degeneracy.hpp"
+
+#include <algorithm>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::graph {
+
+CoreDecomposition core_decomposition(const Adjacency& a) {
+  require_undirected(a, "core_decomposition");
+  if (!grb::has_no_self_loops(a)) {
+    throw domain_error("core_decomposition: adjacency must be loop-free");
+  }
+  const auto n = static_cast<std::size_t>(a.nrows());
+  CoreDecomposition out;
+  out.core.assign(n, 0);
+  out.order.reserve(n);
+  if (n == 0) return out;
+
+  // Matula–Beck bucket peeling.
+  std::vector<count_t> deg(n);
+  count_t max_deg = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    deg[v] = a.row_degree(static_cast<index_t>(v));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<std::vector<index_t>> buckets(
+      static_cast<std::size_t>(max_deg) + 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    buckets[static_cast<std::size_t>(deg[v])].push_back(
+        static_cast<index_t>(v));
+  }
+  std::vector<char> removed(n, 0);
+  count_t current = 0;
+  std::size_t bucket = 0;
+  while (out.order.size() < n) {
+    while (bucket < buckets.size() && buckets[bucket].empty()) ++bucket;
+    KRONLAB_DBG_ASSERT(bucket < buckets.size(), "peeling ran dry");
+    const index_t v = buckets[bucket].back();
+    buckets[bucket].pop_back();
+    if (removed[static_cast<std::size_t>(v)] ||
+        deg[static_cast<std::size_t>(v)] !=
+            static_cast<count_t>(bucket)) {
+      continue; // stale bucket entry
+    }
+    current = std::max(current, static_cast<count_t>(bucket));
+    out.core[static_cast<std::size_t>(v)] = current;
+    out.order.push_back(v);
+    removed[static_cast<std::size_t>(v)] = 1;
+    for (const index_t u : a.row_cols(v)) {
+      auto& du = deg[static_cast<std::size_t>(u)];
+      if (!removed[static_cast<std::size_t>(u)] && du > 0) {
+        --du;
+        buckets[static_cast<std::size_t>(du)].push_back(u);
+        if (static_cast<std::size_t>(du) < bucket) {
+          bucket = static_cast<std::size_t>(du);
+        }
+      }
+    }
+  }
+  out.degeneracy = current;
+  return out;
+}
+
+count_t degeneracy(const Adjacency& a) {
+  return core_decomposition(a).degeneracy;
+}
+
+} // namespace kronlab::graph

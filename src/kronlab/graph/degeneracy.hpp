@@ -1,0 +1,31 @@
+// kronlab/graph/degeneracy.hpp
+//
+// Degeneracy ordering and k-core decomposition.
+//
+// §I quotes the best sparse 4-cycle detection bound as O(E·δ(G)) with
+// δ(G) the degeneracy, "an O(E^{1/2}) quantity".  kronlab ships the
+// linear-time peeling algorithm (Matula–Beck) so benches can report δ for
+// generated graphs and validate that complexity discussion.
+
+#pragma once
+
+#include <vector>
+
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+struct CoreDecomposition {
+  std::vector<count_t> core; ///< core number per vertex
+  std::vector<index_t> order; ///< a degeneracy ordering (peel order)
+  count_t degeneracy = 0;     ///< max core number = δ(G)
+};
+
+/// Peel minimum-degree vertices (bucket queue, O(V + E)).
+/// Requires a loop-free undirected adjacency.
+CoreDecomposition core_decomposition(const Adjacency& a);
+
+/// δ(G) alone.
+count_t degeneracy(const Adjacency& a);
+
+} // namespace kronlab::graph

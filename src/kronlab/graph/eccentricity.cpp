@@ -1,0 +1,44 @@
+#include "kronlab/graph/eccentricity.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/graph/traversal.hpp"
+#include "kronlab/parallel/parallel_for.hpp"
+
+namespace kronlab::graph {
+
+std::vector<index_t> eccentricities(const Adjacency& a) {
+  const index_t n = a.nrows();
+  std::vector<index_t> ecc(static_cast<std::size_t>(n), 0);
+  std::atomic<bool> disconnected{false};
+  parallel_for(0, n, [&](index_t s) {
+    const auto dist = bfs_distances(a, s);
+    index_t e = 0;
+    for (const index_t d : dist) {
+      if (d == unreachable) {
+        disconnected.store(true, std::memory_order_relaxed);
+        return;
+      }
+      e = std::max(e, d);
+    }
+    ecc[static_cast<std::size_t>(s)] = e;
+  });
+  if (disconnected.load()) {
+    throw domain_error("eccentricities: graph is disconnected");
+  }
+  return ecc;
+}
+
+index_t diameter(const Adjacency& a) {
+  const auto ecc = eccentricities(a);
+  return ecc.empty() ? 0 : *std::max_element(ecc.begin(), ecc.end());
+}
+
+index_t radius(const Adjacency& a) {
+  const auto ecc = eccentricities(a);
+  return ecc.empty() ? 0 : *std::min_element(ecc.begin(), ecc.end());
+}
+
+} // namespace kronlab::graph

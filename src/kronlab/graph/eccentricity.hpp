@@ -1,0 +1,26 @@
+// kronlab/graph/eccentricity.hpp
+//
+// Eccentricity, diameter and radius via all-sources BFS.  Intended for
+// factor-sized graphs and validation of product-level properties on
+// small/medium products; O(n·(n+m)).
+
+#pragma once
+
+#include <vector>
+
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+/// Eccentricity of every vertex; `unreachable` (-1) for vertices in a
+/// disconnected graph is not representable, so this throws domain_error if
+/// the graph is disconnected.
+std::vector<index_t> eccentricities(const Adjacency& a);
+
+/// max eccentricity; throws on disconnected input.
+index_t diameter(const Adjacency& a);
+
+/// min eccentricity; throws on disconnected input.
+index_t radius(const Adjacency& a);
+
+} // namespace kronlab::graph

@@ -1,0 +1,84 @@
+#include "kronlab/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/parallel/parallel_for.hpp"
+
+namespace kronlab::graph {
+
+Adjacency from_undirected_edges(
+    index_t n, const std::vector<std::pair<index_t, index_t>>& edges) {
+  grb::Coo<count_t> coo(n, n);
+  coo.reserve(static_cast<offset_t>(2 * edges.size()));
+  for (const auto& [i, j] : edges) {
+    KRONLAB_REQUIRE(i >= 0 && i < n && j >= 0 && j < n,
+                    "edge endpoint out of range");
+    coo.push_symmetric(i, j, 1);
+  }
+  auto a = Adjacency::from_coo(coo);
+  // Collapse duplicate multiplicities to Boolean adjacency.
+  for (auto& v : a.vals()) v = 1;
+  return a;
+}
+
+bool is_undirected_adjacency(const Adjacency& a) {
+  if (a.nrows() != a.ncols()) return false;
+  for (const count_t v : a.vals()) {
+    if (v != 1) return false;
+  }
+  return grb::is_symmetric(a);
+}
+
+void require_undirected(const Adjacency& a, const char* where) {
+  if (!is_undirected_adjacency(a)) {
+    throw domain_error(std::string(where) +
+                       ": requires an undirected 0/1 adjacency matrix");
+  }
+}
+
+count_t num_edges(const Adjacency& a) {
+  return (a.nnz() + num_self_loops(a)) / 2;
+}
+
+count_t num_self_loops(const Adjacency& a) {
+  count_t loops = 0;
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    if (a.has(i, i)) ++loops;
+  }
+  return loops;
+}
+
+grb::Vector<count_t> degrees(const Adjacency& a) {
+  return grb::reduce_rows(a);
+}
+
+grb::Vector<count_t> two_hop_walks(const Adjacency& a) {
+  // w² = A (A 1): two mxv passes, never materializes A².
+  return grb::mxv(a, grb::mxv(a, grb::ones<count_t>(a.ncols())));
+}
+
+count_t max_degree(const Adjacency& a) {
+  const auto d = degrees(a);
+  count_t m = 0;
+  for (const count_t v : d) m = std::max(m, v);
+  return m;
+}
+
+Adjacency strip_self_loops(const Adjacency& a) {
+  KRONLAB_REQUIRE(a.nrows() == a.ncols(),
+                  "strip_self_loops requires a square matrix");
+  grb::Coo<count_t> coo(a.nrows(), a.ncols());
+  coo.reserve(a.nnz());
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != i) coo.push(i, cols[k], vals[k]);
+    }
+  }
+  return Adjacency::from_coo(coo);
+}
+
+} // namespace kronlab::graph

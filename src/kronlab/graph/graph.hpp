@@ -1,0 +1,58 @@
+// kronlab/graph/graph.hpp
+//
+// Graph-level view over adjacency matrices.
+//
+// Throughout kronlab a graph is its adjacency matrix: a square
+// grb::Csr<count_t> with 0/1 values (Boolean adjacency, §II).  This header
+// provides construction from edge lists, structural predicates, and the
+// basic statistics (degree, edge count) used everywhere else.
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "kronlab/common/types.hpp"
+#include "kronlab/grb/csr.hpp"
+#include "kronlab/grb/vector.hpp"
+
+namespace kronlab::graph {
+
+/// Adjacency matrix type used by every graph algorithm.
+using Adjacency = grb::Csr<count_t>;
+
+/// Build an undirected simple graph on n vertices from an edge list.
+/// Self loops are kept if present; duplicate edges collapse to one
+/// (values clamp to 1).
+Adjacency from_undirected_edges(
+    index_t n, const std::vector<std::pair<index_t, index_t>>& edges);
+
+/// True iff `a` is square, symmetric, and 0/1-valued.
+bool is_undirected_adjacency(const Adjacency& a);
+
+/// Throw domain_error unless is_undirected_adjacency(a).
+void require_undirected(const Adjacency& a, const char* where);
+
+/// Number of vertices.
+inline index_t num_vertices(const Adjacency& a) { return a.nrows(); }
+
+/// Number of undirected edges: (nnz + #loops)/2, counting each self loop
+/// as one edge.
+count_t num_edges(const Adjacency& a);
+
+/// Number of self loops.
+count_t num_self_loops(const Adjacency& a);
+
+/// Degree vector d = A·1 (a self loop contributes 1).
+grb::Vector<count_t> degrees(const Adjacency& a);
+
+/// Two-hop walk counts w² = A²·1 (Def. 2) without forming A².
+grb::Vector<count_t> two_hop_walks(const Adjacency& a);
+
+/// Maximum degree.
+count_t max_degree(const Adjacency& a);
+
+/// Remove self loops: A - A∘I.
+Adjacency strip_self_loops(const Adjacency& a);
+
+} // namespace kronlab::graph

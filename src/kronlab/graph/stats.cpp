@@ -1,0 +1,73 @@
+#include "kronlab/graph/stats.hpp"
+
+#include <algorithm>
+
+#include "kronlab/common/error.hpp"
+
+namespace kronlab::graph {
+
+std::map<count_t, index_t> degree_histogram(const Adjacency& a) {
+  std::map<count_t, index_t> hist;
+  const auto d = degrees(a);
+  for (index_t i = 0; i < d.size(); ++i) ++hist[d[i]];
+  return hist;
+}
+
+std::vector<DegreeBin> degree_binned(const Adjacency& a,
+                                     const grb::Vector<count_t>& values) {
+  KRONLAB_REQUIRE(values.size() == a.nrows(),
+                  "degree_binned: values size mismatch");
+  const auto d = degrees(a);
+  struct Acc {
+    index_t n = 0;
+    count_t sum = 0;
+    count_t min = 0;
+    count_t max = 0;
+  };
+  std::map<count_t, Acc> bins;
+  for (index_t v = 0; v < d.size(); ++v) {
+    auto& b = bins[d[v]];
+    if (b.n == 0) {
+      b.min = b.max = values[v];
+    } else {
+      b.min = std::min(b.min, values[v]);
+      b.max = std::max(b.max, values[v]);
+    }
+    ++b.n;
+    b.sum += values[v];
+  }
+  std::vector<DegreeBin> out;
+  out.reserve(bins.size());
+  for (const auto& [deg, acc] : bins) {
+    out.push_back({deg, acc.n,
+                   static_cast<double>(acc.sum) / static_cast<double>(acc.n),
+                   acc.min, acc.max});
+  }
+  return out;
+}
+
+DegreeSummary degree_summary(const Adjacency& a) {
+  DegreeSummary s;
+  auto d = degrees(a).data();
+  if (d.empty()) return s;
+  std::sort(d.begin(), d.end());
+  s.max_degree = d.back();
+  count_t total = 0;
+  for (const count_t v : d) total += v;
+  s.mean_degree = static_cast<double>(total) / static_cast<double>(d.size());
+  s.median_degree = d[d.size() / 2];
+  // Gini = (2 Σ_i i·d_i)/(n Σ d) − (n+1)/n with 1-based ranks on the sorted
+  // sequence.
+  if (total > 0) {
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * static_cast<double>(d[i]);
+    }
+    const auto n = static_cast<double>(d.size());
+    s.gini = 2.0 * weighted / (n * static_cast<double>(total)) -
+             (n + 1.0) / n;
+  }
+  return s;
+}
+
+} // namespace kronlab::graph

@@ -1,0 +1,42 @@
+// kronlab/graph/stats.hpp
+//
+// Degree-distribution and degree-binned statistics used by the benchmark
+// harnesses (Fig. 5 plots degree vs 4-cycle participation on log-log axes).
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+/// Histogram: degree -> number of vertices with that degree.
+std::map<count_t, index_t> degree_histogram(const Adjacency& a);
+
+/// One point of a degree-binned series.
+struct DegreeBin {
+  count_t degree = 0;   ///< representative degree of the bin
+  index_t vertices = 0; ///< vertices in the bin
+  double mean = 0.0;    ///< mean of `values` over the bin
+  count_t min = 0;      ///< min of `values` over the bin
+  count_t max = 0;      ///< max of `values` over the bin
+};
+
+/// Bin `values[v]` by exact degree — the (degree, 4-cycle count) scatter of
+/// Fig. 5, collapsed to per-degree summary rows so benches can print it.
+std::vector<DegreeBin> degree_binned(const Adjacency& a,
+                                     const grb::Vector<count_t>& values);
+
+/// Heavy-tail summary used in bench tables.
+struct DegreeSummary {
+  count_t max_degree = 0;
+  double mean_degree = 0.0;
+  count_t median_degree = 0;
+  double gini = 0.0; ///< Gini coefficient of the degree sequence (skew)
+};
+
+DegreeSummary degree_summary(const Adjacency& a);
+
+} // namespace kronlab::graph

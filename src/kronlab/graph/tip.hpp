@@ -1,0 +1,45 @@
+// kronlab/graph/tip.hpp
+//
+// Tip decomposition — the *vertex* peeling companion of the wing (edge)
+// decomposition, from Sarıyüce–Pinar's "Peeling Bipartite Networks for
+// Dense Subgraph Discovery" [4].
+//
+// The k-tip of a bipartite graph, with respect to one side, is the maximal
+// subgraph in which every vertex of that side participates in at least k
+// butterflies *within the subgraph* (vertices of the other side are never
+// peeled).  The tip number of a side-vertex is the largest k whose k-tip
+// contains it.
+//
+// Like wings, tip ground truth cannot be planted through Kronecker factors
+// (Remark 1); kronlab ships the decomposition so computed baselines are
+// validatable.
+
+#pragma once
+
+#include <vector>
+
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+/// Result of the tip decomposition for the chosen side.
+struct TipDecomposition {
+  /// Tip number per vertex; vertices on the non-peeled side (and isolated
+  /// peeled-side vertices) carry 0 and are flagged below.
+  std::vector<count_t> tip;
+  /// True for vertices on the peeled side.
+  std::vector<bool> peeled_side;
+  count_t max_tip = 0;
+};
+
+/// Peel the side-`side` vertices (0 = U, 1 = W of `part`).  Requires a
+/// loop-free bipartite graph and a valid two-coloring of it.
+TipDecomposition tip_decomposition(const Adjacency& a,
+                                   const Bipartition& part, int side);
+
+/// Tiny-graph oracle by iterated deletion to a fixpoint per k.
+TipDecomposition tip_decomposition_naive(const Adjacency& a,
+                                         const Bipartition& part, int side);
+
+} // namespace kronlab::graph

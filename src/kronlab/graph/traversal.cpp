@@ -1,0 +1,68 @@
+#include "kronlab/graph/traversal.hpp"
+
+#include <deque>
+
+#include "kronlab/common/error.hpp"
+
+namespace kronlab::graph {
+
+std::vector<index_t> bfs_distances(const Adjacency& a, index_t source) {
+  KRONLAB_REQUIRE(a.nrows() == a.ncols(), "bfs requires a square adjacency");
+  KRONLAB_REQUIRE(source >= 0 && source < a.nrows(),
+                  "bfs source out of range");
+  std::vector<index_t> dist(static_cast<std::size_t>(a.nrows()),
+                            unreachable);
+  std::deque<index_t> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const index_t u = frontier.front();
+    frontier.pop_front();
+    const index_t du = dist[static_cast<std::size_t>(u)];
+    for (const index_t v : a.row_cols(u)) {
+      if (dist[static_cast<std::size_t>(v)] == unreachable) {
+        dist[static_cast<std::size_t>(v)] = du + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<index_t> Components::sizes() const {
+  std::vector<index_t> s(static_cast<std::size_t>(count), 0);
+  for (const index_t l : label) ++s[static_cast<std::size_t>(l)];
+  return s;
+}
+
+Components connected_components(const Adjacency& a) {
+  KRONLAB_REQUIRE(a.nrows() == a.ncols(),
+                  "connected_components requires a square adjacency");
+  Components c;
+  c.label.assign(static_cast<std::size_t>(a.nrows()), -1);
+  std::vector<index_t> stack;
+  for (index_t s = 0; s < a.nrows(); ++s) {
+    if (c.label[static_cast<std::size_t>(s)] != -1) continue;
+    const index_t id = c.count++;
+    c.label[static_cast<std::size_t>(s)] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const index_t u = stack.back();
+      stack.pop_back();
+      for (const index_t v : a.row_cols(u)) {
+        if (c.label[static_cast<std::size_t>(v)] == -1) {
+          c.label[static_cast<std::size_t>(v)] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+bool is_connected(const Adjacency& a) {
+  if (a.nrows() == 0) return true;
+  return connected_components(a).count == 1;
+}
+
+} // namespace kronlab::graph

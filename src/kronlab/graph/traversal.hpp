@@ -1,0 +1,35 @@
+// kronlab/graph/traversal.hpp
+//
+// Breadth-first search and connected components.
+
+#pragma once
+
+#include <vector>
+
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+/// Unreachable marker in BFS distance vectors.
+inline constexpr index_t unreachable = -1;
+
+/// Hop distances from `source` (Def: hops_A(source, ·)); `unreachable` for
+/// vertices in other components.
+std::vector<index_t> bfs_distances(const Adjacency& a, index_t source);
+
+/// Connected-component labeling (undirected).
+struct Components {
+  std::vector<index_t> label; ///< component id per vertex, in [0, count)
+  index_t count = 0;          ///< number of components
+
+  /// Sizes of each component.
+  [[nodiscard]] std::vector<index_t> sizes() const;
+};
+
+Components connected_components(const Adjacency& a);
+
+/// True iff the graph is connected (every vertex reachable; the empty graph
+/// counts as connected).
+bool is_connected(const Adjacency& a);
+
+} // namespace kronlab::graph

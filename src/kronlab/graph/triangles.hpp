@@ -1,0 +1,23 @@
+// kronlab/graph/triangles.hpp
+//
+// Direct (combinatorial) triangle counting — the non-bipartite higher-order
+// statistic.  Used to validate bipartiteness (bipartite graphs must count
+// zero) and to characterize the non-bipartite factor A of Assumption 1(i).
+
+#pragma once
+
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+/// Per-vertex triangle participation t_i, by sorted neighbor-list
+/// intersection over each edge.  Requires a loop-free undirected adjacency.
+grb::Vector<count_t> vertex_triangles(const Adjacency& a);
+
+/// Per-edge triangle counts Δ_ij (number of common neighbors of i and j).
+grb::Csr<count_t> edge_triangles(const Adjacency& a);
+
+/// Global triangle count (= Σ t_i / 3).
+count_t global_triangles(const Adjacency& a);
+
+} // namespace kronlab::graph

@@ -1,0 +1,53 @@
+// kronlab/graph/wing.hpp
+//
+// k-wing (bitruss) decomposition of bipartite graphs — Sarıyüce–Pinar [4]
+// and Zou [17], the butterfly generalization of truss decomposition.
+//
+// The k-wing of a bipartite graph is the maximal subgraph in which every
+// edge participates in at least k butterflies *within the subgraph*.  The
+// wing number of an edge is the largest k whose k-wing contains it.
+//
+// The paper's §I/§III-B observation: because Kronecker products sprout
+// 4-cycles even where the factors have none (Remark 1), one cannot plant a
+// ground-truth wing decomposition the way triangle/truss ground truth is
+// planted in the non-bipartite setting.  kronlab ships this decomposition
+// so that claim is demonstrable (see bench_wing) and so the generator can
+// still be used for *validated* wing computations on graphs small enough
+// to verify.
+//
+// Algorithm: standard support peeling.  Compute per-edge butterfly support,
+// then repeatedly remove a minimum-support edge, enumerating the
+// butterflies it participates in and decrementing the other three edges of
+// each.  Bucketed priority queue gives O(Σ butterflies-touched + |E| log)
+// style behavior; intended for factor-scale and validation-scale graphs.
+
+#pragma once
+
+#include <vector>
+
+#include "kronlab/graph/graph.hpp"
+
+namespace kronlab::graph {
+
+/// Result of the wing (bitruss) decomposition.
+struct WingDecomposition {
+  /// Wing number per stored CSR entry of the input adjacency (symmetric:
+  /// entry (i,j) and (j,i) carry the same number).
+  grb::Csr<count_t> wing;
+  /// Largest k with a non-empty k-wing.
+  count_t max_wing = 0;
+
+  /// Edges (as (i,j), i<j) of the k-wing subgraph.
+  [[nodiscard]] std::vector<std::pair<index_t, index_t>> wing_edges(
+      count_t k) const;
+};
+
+/// Peeling decomposition.  Requires a loop-free undirected bipartite
+/// adjacency.
+WingDecomposition wing_decomposition(const Adjacency& a);
+
+/// Independent O(|E|²·...) oracle for tiny graphs: iteratively delete all
+/// edges with in-subgraph support < k until fixpoint, for each k.
+WingDecomposition wing_decomposition_naive(const Adjacency& a);
+
+} // namespace kronlab::graph

@@ -1,0 +1,81 @@
+#include "kronlab/grb/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "kronlab/common/error.hpp"
+
+namespace kronlab::grb {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'R', 'N', 'L', 'C', 'S', 'R', '1'};
+
+void put_words(std::ostream& out, const std::int64_t* data,
+               std::size_t n) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n * sizeof(std::int64_t)));
+}
+
+void get_words(std::istream& in, std::int64_t* data, std::size_t n) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(std::int64_t)));
+  if (!in) throw io_error("truncated kronlab binary matrix");
+}
+
+} // namespace
+
+void write_binary(std::ostream& out, const Csr<count_t>& a) {
+  out.write(kMagic, sizeof kMagic);
+  const std::int64_t header[3] = {a.nrows(), a.ncols(), a.nnz()};
+  put_words(out, header, 3);
+  put_words(out, a.row_ptr().data(), a.row_ptr().size());
+  put_words(out, a.col_idx().data(), a.col_idx().size());
+  put_words(out, a.vals().data(), a.vals().size());
+  if (!out) throw io_error("failed writing kronlab binary matrix");
+}
+
+Csr<count_t> read_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw io_error("not a kronlab binary matrix (bad magic)");
+  }
+  std::int64_t header[3];
+  get_words(in, header, 3);
+  const index_t nrows = header[0];
+  const index_t ncols = header[1];
+  const offset_t nnz = header[2];
+  if (nrows < 0 || ncols < 0 || nnz < 0) {
+    throw io_error("kronlab binary matrix: negative dimensions");
+  }
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(nrows) + 1);
+  std::vector<index_t> col_idx(static_cast<std::size_t>(nnz));
+  std::vector<count_t> vals(static_cast<std::size_t>(nnz));
+  get_words(in, row_ptr.data(), row_ptr.size());
+  get_words(in, col_idx.data(), col_idx.size());
+  get_words(in, vals.data(), vals.size());
+  try {
+    return Csr<count_t>(nrows, ncols, std::move(row_ptr),
+                        std::move(col_idx), std::move(vals));
+  } catch (const invalid_argument& e) {
+    throw io_error(std::string("kronlab binary matrix: corrupt CSR — ") +
+                   e.what());
+  }
+}
+
+void write_binary_file(const std::string& path, const Csr<count_t>& a) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw io_error("cannot open for writing: " + path);
+  write_binary(out, a);
+}
+
+Csr<count_t> read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw io_error("cannot open: " + path);
+  return read_binary(in);
+}
+
+} // namespace kronlab::grb

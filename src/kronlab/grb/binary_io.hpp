@@ -1,0 +1,31 @@
+// kronlab/grb/binary_io.hpp
+//
+// Binary CSR serialization.
+//
+// The paper's §I storage argument: stochastic generators must persist the
+// full generated graph to reuse it, while nonstochastic Kronecker graphs
+// are reproducible from their (tiny) factors.  kronlab therefore ships a
+// compact binary format for *factors* — persist kilobytes, regenerate the
+// massive product deterministically.
+//
+// Format (little-endian 64-bit words):
+//   magic "KRNLCSR1" | nrows | ncols | nnz | row_ptr[nrows+1]
+//   | col_idx[nnz] | vals[nnz]
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "kronlab/common/types.hpp"
+#include "kronlab/grb/csr.hpp"
+
+namespace kronlab::grb {
+
+void write_binary(std::ostream& out, const Csr<count_t>& a);
+Csr<count_t> read_binary(std::istream& in);
+
+void write_binary_file(const std::string& path, const Csr<count_t>& a);
+Csr<count_t> read_binary_file(const std::string& path);
+
+} // namespace kronlab::grb

@@ -1,0 +1,66 @@
+// kronlab/grb/coo.hpp
+//
+// Coordinate-format sparse matrix builder.
+//
+// COO is the ingestion format: generators and file loaders push triplets,
+// then convert to CSR (the computational format) via Csr<T>::from_coo, which
+// sorts and combines duplicates with the additive monoid.
+
+#pragma once
+
+#include <vector>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/common/types.hpp"
+
+namespace kronlab::grb {
+
+template <typename T>
+class Coo {
+public:
+  struct Triplet {
+    index_t row;
+    index_t col;
+    T val;
+  };
+
+  Coo() = default;
+  Coo(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols) {
+    KRONLAB_REQUIRE(nrows >= 0 && ncols >= 0,
+                    "matrix dimensions must be non-negative");
+  }
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] offset_t nnz() const {
+    return static_cast<offset_t>(entries_.size());
+  }
+
+  void reserve(offset_t n) { entries_.reserve(static_cast<std::size_t>(n)); }
+
+  /// Append one triplet.  Duplicates are allowed; they are summed when the
+  /// matrix is converted to CSR.
+  void push(index_t row, index_t col, T val) {
+    KRONLAB_REQUIRE(row >= 0 && row < nrows_, "COO row index out of range");
+    KRONLAB_REQUIRE(col >= 0 && col < ncols_, "COO col index out of range");
+    entries_.push_back({row, col, val});
+  }
+
+  /// Append both (i,j) and (j,i) — convenience for undirected edges.
+  void push_symmetric(index_t i, index_t j, T val) {
+    push(i, j, val);
+    if (i != j) push(j, i, val);
+  }
+
+  [[nodiscard]] const std::vector<Triplet>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::vector<Triplet>& entries() { return entries_; }
+
+private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+} // namespace kronlab::grb

@@ -1,0 +1,133 @@
+#include "kronlab/grb/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/grb/coo.hpp"
+
+namespace kronlab::grb {
+
+namespace {
+
+std::string next_data_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '%' || line[first] == '#') continue;
+    return line;
+  }
+  return {};
+}
+
+} // namespace
+
+Csr<count_t> read_matrix_market(std::istream& in) {
+  std::string header;
+  KRONLAB_REQUIRE(static_cast<bool>(std::getline(in, header)),
+                  "empty MatrixMarket stream");
+  std::istringstream hs(header);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || object != "matrix") {
+    throw io_error("not a MatrixMarket matrix file");
+  }
+  if (format != "coordinate") {
+    throw io_error("only coordinate MatrixMarket format is supported");
+  }
+  const bool pattern = (field == "pattern");
+  const bool symmetric = (symmetry == "symmetric");
+  if (field != "pattern" && field != "integer" && field != "real") {
+    throw io_error("unsupported MatrixMarket field: " + field);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    throw io_error("unsupported MatrixMarket symmetry: " + symmetry);
+  }
+
+  const std::string size_line = next_data_line(in);
+  KRONLAB_REQUIRE(!size_line.empty(), "missing MatrixMarket size line");
+  std::istringstream ss(size_line);
+  index_t nrows = 0, ncols = 0;
+  offset_t nnz = 0;
+  ss >> nrows >> ncols >> nnz;
+  if (!ss || nrows < 0 || ncols < 0 || nnz < 0) {
+    throw io_error("malformed MatrixMarket size line: " + size_line);
+  }
+
+  Coo<count_t> coo(nrows, ncols);
+  coo.reserve(symmetric ? 2 * nnz : nnz);
+  for (offset_t e = 0; e < nnz; ++e) {
+    const std::string line = next_data_line(in);
+    if (line.empty()) throw io_error("truncated MatrixMarket file");
+    std::istringstream ls(line);
+    index_t i = 0, j = 0;
+    double v = 1.0;
+    ls >> i >> j;
+    if (!pattern) ls >> v;
+    if (!ls) throw io_error("malformed MatrixMarket entry: " + line);
+    if (i < 1 || i > nrows || j < 1 || j > ncols) {
+      throw io_error("MatrixMarket index out of range: " + line);
+    }
+    const auto val = static_cast<count_t>(v);
+    coo.push(i - 1, j - 1, val);
+    if (symmetric && i != j) coo.push(j - 1, i - 1, val);
+  }
+  return Csr<count_t>::from_coo(coo);
+}
+
+Csr<count_t> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error("cannot open file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr<count_t>& a) {
+  out << "%%MatrixMarket matrix coordinate integer general\n";
+  out << a.nrows() << ' ' << a.ncols() << ' ' << a.nnz() << '\n';
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << (i + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k] << '\n';
+    }
+  }
+}
+
+BipartiteEdgeList read_bipartite_edge_list(std::istream& in) {
+  BipartiteEdgeList el;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '%' || line[first] == '#') continue;
+    std::istringstream ls(line);
+    index_t u = 0, w = 0;
+    ls >> u >> w;
+    if (!ls) throw io_error("malformed edge list line: " + line);
+    if (u < 1 || w < 1) throw io_error("edge list ids must be 1-based");
+    el.edges.emplace_back(u - 1, w - 1);
+    el.n_left = std::max(el.n_left, u);
+    el.n_right = std::max(el.n_right, w);
+  }
+  return el;
+}
+
+BipartiteEdgeList read_bipartite_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error("cannot open file: " + path);
+  return read_bipartite_edge_list(in);
+}
+
+void write_bipartite_edge_list(std::ostream& out,
+                               const BipartiteEdgeList& el) {
+  out << "% bip " << el.n_left << ' ' << el.n_right << ' '
+      << el.edges.size() << '\n';
+  for (const auto& [u, w] : el.edges) {
+    out << (u + 1) << ' ' << (w + 1) << '\n';
+  }
+}
+
+} // namespace kronlab::grb

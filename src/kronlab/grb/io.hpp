@@ -1,0 +1,42 @@
+// kronlab/grb/io.hpp
+//
+// Matrix I/O: MatrixMarket coordinate files and KONECT-style bipartite
+// edge lists.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "kronlab/common/types.hpp"
+#include "kronlab/grb/csr.hpp"
+
+namespace kronlab::grb {
+
+/// Read a MatrixMarket `coordinate` file (real/integer/pattern;
+/// general/symmetric).  Pattern entries get value 1.
+Csr<count_t> read_matrix_market(std::istream& in);
+Csr<count_t> read_matrix_market_file(const std::string& path);
+
+/// Write `a` as MatrixMarket coordinate integer general.
+void write_matrix_market(std::ostream& out, const Csr<count_t>& a);
+
+/// Parsed bipartite (two-mode) edge list: edges (u, w) between left
+/// vertices [0, n_left) and right vertices [0, n_right).
+struct BipartiteEdgeList {
+  index_t n_left = 0;
+  index_t n_right = 0;
+  std::vector<std::pair<index_t, index_t>> edges;
+};
+
+/// Read a KONECT-style two-mode edge list: lines `u w [weight [time]]`,
+/// 1-based ids, `%` or `#` comment lines.  Duplicate edges are kept (the
+/// caller's from_coo combine collapses them).
+BipartiteEdgeList read_bipartite_edge_list(std::istream& in);
+BipartiteEdgeList read_bipartite_edge_list_file(const std::string& path);
+
+/// Write one `u w` line per edge (1-based), with a header comment.
+void write_bipartite_edge_list(std::ostream& out,
+                               const BipartiteEdgeList& el);
+
+} // namespace kronlab::grb

@@ -1,0 +1,47 @@
+// kronlab/grb/semiring.hpp
+//
+// Semiring abstractions in the spirit of the GraphBLAS C API: matrix
+// operations are parameterized on an (add-monoid, multiply-op) pair, so one
+// SpMV/SpGEMM kernel serves arithmetic counting (plus-times), reachability
+// (or-and), and shortest hops (min-plus).
+
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+namespace kronlab::grb {
+
+/// Classic arithmetic semiring (+, ×, 0) — used by all counting formulas.
+template <typename T>
+struct PlusTimes {
+  using value_type = T;
+  static constexpr T zero() { return T{0}; }
+  static constexpr T add(T a, T b) { return a + b; }
+  static constexpr T mult(T a, T b) { return a * b; }
+};
+
+/// Boolean semiring (∨, ∧, false) over any arithmetic carrier — used for
+/// reachability and structural products.
+template <typename T>
+struct OrAnd {
+  using value_type = T;
+  static constexpr T zero() { return T{0}; }
+  static constexpr T add(T a, T b) { return (a != T{0} || b != T{0}) ? T{1} : T{0}; }
+  static constexpr T mult(T a, T b) { return (a != T{0} && b != T{0}) ? T{1} : T{0}; }
+};
+
+/// Tropical semiring (min, +, +inf) — hop-count style computations.
+template <typename T>
+struct MinPlus {
+  using value_type = T;
+  static constexpr T zero() { return std::numeric_limits<T>::max(); }
+  static constexpr T add(T a, T b) { return std::min(a, b); }
+  static constexpr T mult(T a, T b) {
+    // Saturating addition so zero() behaves as annihilator-free infinity.
+    if (a == zero() || b == zero()) return zero();
+    return a + b;
+  }
+};
+
+} // namespace kronlab::grb

@@ -1,0 +1,156 @@
+// kronlab/grb/vector.hpp
+//
+// Dense vector type for the mini-GraphBLAS layer.
+//
+// The paper's ground-truth formulas are algebra over a handful of
+// factor-sized dense vectors (degree d, two-hop walk counts w², square
+// counts s, the all-ones vector 1).  A thin wrapper over std::vector with
+// shape-checked element-wise helpers keeps those formulas readable and safe.
+
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/common/types.hpp"
+
+namespace kronlab::grb {
+
+template <typename T>
+class Vector {
+public:
+  Vector() = default;
+  explicit Vector(index_t n, T fill = T{}) {
+    KRONLAB_REQUIRE(n >= 0, "vector size must be non-negative");
+    data_.assign(static_cast<std::size_t>(n), fill);
+  }
+  explicit Vector(std::vector<T> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] index_t size() const {
+    return static_cast<index_t>(data_.size());
+  }
+
+  T& operator[](index_t i) {
+    KRONLAB_DBG_ASSERT(i >= 0 && i < size(), "vector index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+  const T& operator[](index_t i) const {
+    KRONLAB_DBG_ASSERT(i >= 0 && i < size(), "vector index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] const std::vector<T>& data() const { return data_; }
+  [[nodiscard]] std::vector<T>& data() { return data_; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  bool operator==(const Vector&) const = default;
+
+private:
+  std::vector<T> data_;
+};
+
+/// The all-ones vector 1_n.
+template <typename T>
+Vector<T> ones(index_t n) {
+  return Vector<T>(n, T{1});
+}
+
+/// The all-zeros vector 0_n.
+template <typename T>
+Vector<T> zeros(index_t n) {
+  return Vector<T>(n, T{0});
+}
+
+/// Cardinal (one-hot) vector e_i.
+template <typename T>
+Vector<T> cardinal(index_t n, index_t i) {
+  KRONLAB_REQUIRE(i >= 0 && i < n, "cardinal index out of range");
+  Vector<T> v(n, T{0});
+  v[i] = T{1};
+  return v;
+}
+
+namespace detail {
+template <typename T>
+void require_same_size(const Vector<T>& a, const Vector<T>& b,
+                       const char* op) {
+  KRONLAB_REQUIRE(a.size() == b.size(),
+                  std::string("vector size mismatch in ") + op);
+}
+} // namespace detail
+
+/// Element-wise sum a + b.
+template <typename T>
+Vector<T> ewise_add(const Vector<T>& a, const Vector<T>& b) {
+  detail::require_same_size(a, b, "ewise_add");
+  Vector<T> r(a.size());
+  for (index_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+/// Element-wise difference a - b.
+template <typename T>
+Vector<T> ewise_sub(const Vector<T>& a, const Vector<T>& b) {
+  detail::require_same_size(a, b, "ewise_sub");
+  Vector<T> r(a.size());
+  for (index_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+/// Hadamard product a ∘ b.
+template <typename T>
+Vector<T> ewise_mult(const Vector<T>& a, const Vector<T>& b) {
+  detail::require_same_size(a, b, "ewise_mult");
+  Vector<T> r(a.size());
+  for (index_t i = 0; i < a.size(); ++i) r[i] = a[i] * b[i];
+  return r;
+}
+
+/// Scalar multiple s·a.
+template <typename T>
+Vector<T> scale(const Vector<T>& a, T s) {
+  Vector<T> r(a.size());
+  for (index_t i = 0; i < a.size(); ++i) r[i] = a[i] * s;
+  return r;
+}
+
+/// Add scalar s to every entry.
+template <typename T>
+Vector<T> shift(const Vector<T>& a, T s) {
+  Vector<T> r(a.size());
+  for (index_t i = 0; i < a.size(); ++i) r[i] = a[i] + s;
+  return r;
+}
+
+/// Sum of all entries.
+template <typename T>
+T reduce(const Vector<T>& a) {
+  return std::accumulate(a.begin(), a.end(), T{0});
+}
+
+/// Kronecker product of vectors: (a ⊗ b)[γ(i,k)] = a[i]·b[k].
+template <typename T>
+Vector<T> kron(const Vector<T>& a, const Vector<T>& b) {
+  Vector<T> r(a.size() * b.size());
+  index_t p = 0;
+  for (index_t i = 0; i < a.size(); ++i) {
+    for (index_t k = 0; k < b.size(); ++k) r[p++] = a[i] * b[k];
+  }
+  return r;
+}
+
+/// Inner product aᵗb.
+template <typename T>
+T dot(const Vector<T>& a, const Vector<T>& b) {
+  detail::require_same_size(a, b, "dot");
+  T acc{0};
+  for (index_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+} // namespace kronlab::grb

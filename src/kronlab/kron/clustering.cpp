@@ -1,0 +1,102 @@
+#include "kronlab/kron/clustering.hpp"
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::kron {
+
+std::optional<double> edge_clustering(count_t squares, count_t d_i,
+                                      count_t d_j) {
+  const count_t denom = (d_i - 1) * (d_j - 1);
+  if (denom <= 0) return std::nullopt;
+  return static_cast<double>(squares) / static_cast<double>(denom);
+}
+
+grb::Csr<double> edge_clustering_matrix(const Adjacency& a) {
+  const auto sq = edge_squares_formula(a);
+  const auto d = grb::reduce_rows(a);
+  grb::Csr<double> out(
+      a.nrows(), a.ncols(), a.row_ptr(), a.col_idx(),
+      std::vector<double>(static_cast<std::size_t>(a.nnz()), 0.0));
+  auto& vals = out.vals();
+  const auto& rp = a.row_ptr();
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto sqv = sq.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const auto g = edge_clustering(sqv[k], d[i], d[cols[k]]);
+      vals[static_cast<std::size_t>(rp[static_cast<std::size_t>(i)]) + k] =
+          g.value_or(0.0);
+    }
+  }
+  return out;
+}
+
+double psi(count_t d_i, count_t d_j, count_t d_k, count_t d_l) {
+  KRONLAB_REQUIRE(d_i >= 2 && d_j >= 2 && d_k >= 2 && d_l >= 2,
+                  "psi requires all degrees >= 2 (Thm 6 hypothesis)");
+  const auto num = static_cast<double>((d_i - 1) * (d_k - 1)) *
+                   static_cast<double>((d_j - 1) * (d_l - 1));
+  const auto den = static_cast<double>(d_i * d_k - 1) *
+                   static_cast<double>(d_j * d_l - 1);
+  return num / den;
+}
+
+std::vector<ClusteringSample> clustering_samples(
+    const BipartiteKronecker& kp, index_t max_samples) {
+  const auto& m = kp.left();
+  const auto& b = kp.right();
+  if (!grb::has_no_self_loops(m)) {
+    throw domain_error(
+        "clustering_samples: Thm 6 applies to Assumption 1(i) products "
+        "(loop-free left factor)");
+  }
+  const auto d_m = grb::reduce_rows(m);
+  const auto d_b = grb::reduce_rows(b);
+  const auto sq_m = edge_squares_formula(m);
+  const auto sq_b = edge_squares_formula(b);
+
+  std::vector<ClusteringSample> samples;
+  const index_t nb = b.nrows();
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    const auto mc = m.row_cols(i);
+    const auto msq = sq_m.row_vals(i);
+    for (index_t k = 0; k < nb; ++k) {
+      const auto bc = b.row_cols(k);
+      const auto bsq = sq_b.row_vals(k);
+      const index_t p = i * nb + k;
+      for (std::size_t em = 0; em < mc.size(); ++em) {
+        const index_t j = mc[em];
+        if (d_m[i] < 2 || d_m[j] < 2) continue;
+        for (std::size_t eb = 0; eb < bc.size(); ++eb) {
+          const index_t l = bc[eb];
+          if (d_b[k] < 2 || d_b[l] < 2) continue;
+          const index_t q = j * nb + l;
+          if (p >= q) continue; // each undirected edge once
+          ClusteringSample s;
+          s.p = p;
+          s.q = q;
+          // ◇_pq from the streaming identity (Def. 9 on the product).
+          const count_t sq_pq =
+              edge_squares_pointwise_thm5(msq[em], d_m[i], d_m[j], bsq[eb],
+                                          d_b[k], d_b[l]);
+          const count_t dp = d_m[i] * d_b[k];
+          const count_t dq = d_m[j] * d_b[l];
+          s.gamma_c = *edge_clustering(sq_pq, dp, dq);
+          s.gamma_a = *edge_clustering(msq[em], d_m[i], d_m[j]);
+          s.gamma_b = *edge_clustering(bsq[eb], d_b[k], d_b[l]);
+          s.psi = psi(d_m[i], d_m[j], d_b[k], d_b[l]);
+          s.bound = s.psi * s.gamma_a * s.gamma_b;
+          samples.push_back(s);
+          if (max_samples > 0 &&
+              static_cast<index_t>(samples.size()) >= max_samples) {
+            return samples;
+          }
+        }
+      }
+    }
+  }
+  return samples;
+}
+
+} // namespace kronlab::kron

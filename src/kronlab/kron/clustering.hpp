@@ -1,0 +1,44 @@
+// kronlab/kron/clustering.hpp
+//
+// Bipartite edge clustering coefficients (Def. 10) and the Thm 6 scaling
+// law: Γ_C(p,q) ≥ ψ(i,j,k,l)·Γ_A(i,j)·Γ_B(k,l) with ψ ∈ [1/9, 1) whenever
+// all four factor degrees are ≥ 2.
+
+#pragma once
+
+#include <optional>
+
+#include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/kron/product.hpp"
+
+namespace kronlab::kron {
+
+/// Γ_A(i,j) = ◇_ij / ((d_i−1)(d_j−1)).  Returns nullopt when a degree is 1
+/// (the edge cannot participate in any square; the coefficient is 0/0).
+std::optional<double> edge_clustering(count_t squares, count_t d_i,
+                                      count_t d_j);
+
+/// Per-edge clustering coefficients of one factor graph, aligned with its
+/// CSR entries; degree-1 edges map to 0.
+grb::Csr<double> edge_clustering_matrix(const Adjacency& a);
+
+/// ψ(i,j,k,l) of Thm 6.
+double psi(count_t d_i, count_t d_j, count_t d_k, count_t d_l);
+
+/// One sampled product edge with everything Thm 6 relates.
+struct ClusteringSample {
+  index_t p = 0, q = 0;      ///< product edge
+  double gamma_c = 0.0;      ///< Γ_C(p,q)
+  double gamma_a = 0.0;      ///< Γ_M(i,j)
+  double gamma_b = 0.0;      ///< Γ_B(k,l)
+  double psi = 0.0;          ///< ψ(i,j,k,l)
+  double bound = 0.0;        ///< ψ·Γ_M·Γ_B (the Thm 6 lower bound)
+};
+
+/// Evaluate Γ_C and the Thm 6 bound on every product edge whose factor
+/// degrees are all ≥ 2 (the theorem's hypothesis), without materializing C.
+/// `max_samples` truncates the scan for benches; 0 = all edges.
+std::vector<ClusteringSample> clustering_samples(
+    const BipartiteKronecker& kp, index_t max_samples = 0);
+
+} // namespace kronlab::kron

@@ -1,0 +1,128 @@
+#include "kronlab/kron/community.hpp"
+
+#include <algorithm>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/kron/index_map.hpp"
+
+namespace kronlab::kron {
+
+namespace {
+
+double density_in(count_t m_in, index_t r, index_t t) {
+  const double denom = static_cast<double>(r) * static_cast<double>(t);
+  return denom > 0 ? static_cast<double>(m_in) / denom : 0.0;
+}
+
+double density_out(count_t m_out, index_t r, index_t t, index_t n_u,
+                   index_t n_w) {
+  const double denom = static_cast<double>(r) * static_cast<double>(n_w) +
+                       static_cast<double>(n_u) * static_cast<double>(t) -
+                       2.0 * static_cast<double>(r) *
+                           static_cast<double>(t);
+  return denom > 0 ? static_cast<double>(m_out) / denom : 0.0;
+}
+
+} // namespace
+
+double FactorCommunity::rho_in() const {
+  return density_in(m_in, static_cast<index_t>(subset.r.size()),
+                    static_cast<index_t>(subset.t.size()));
+}
+
+double FactorCommunity::rho_out() const {
+  return density_out(m_out, static_cast<index_t>(subset.r.size()),
+                     static_cast<index_t>(subset.t.size()), n_u, n_w);
+}
+
+FactorCommunity measure_factor_community(const Adjacency& a,
+                                         const graph::Bipartition& part,
+                                         const graph::BipartiteSubset& s) {
+  const auto stats = graph::community_stats(a, part, s);
+  FactorCommunity fc;
+  fc.subset = s;
+  fc.n_u = part.size_u();
+  fc.n_w = part.size_w();
+  fc.m_in = stats.m_in;
+  fc.m_out = stats.m_out;
+  return fc;
+}
+
+double ProductCommunity::rho_in() const {
+  return density_in(m_in, r_size, t_size);
+}
+
+double ProductCommunity::rho_out() const {
+  return density_out(m_out, r_size, t_size, n_u, n_w);
+}
+
+ProductCommunity product_community(const FactorCommunity& sa,
+                                   const FactorCommunity& sb) {
+  const count_t size_a = sa.size();
+  ProductCommunity pc;
+  // Thm 7.
+  pc.m_in = 2 * sa.m_in * sb.m_in + size_a * sb.m_in;
+  pc.m_out = sa.m_out * sb.m_out + 2 * sa.m_out * sb.m_in +
+             size_a * sb.m_out + 2 * sa.m_in * sb.m_out;
+  // Def. 12 geometry: the product's bipartition follows factor B's sides.
+  pc.r_size = size_a * static_cast<index_t>(sb.subset.r.size());
+  pc.t_size = size_a * static_cast<index_t>(sb.subset.t.size());
+  pc.n_u = (sa.n_u + sa.n_w) * sb.n_u;
+  pc.n_w = (sa.n_u + sa.n_w) * sb.n_w;
+  return pc;
+}
+
+graph::BipartiteSubset product_subset(const FactorCommunity& sa,
+                                      const FactorCommunity& sb,
+                                      const graph::Bipartition& part_b,
+                                      index_t n_b) {
+  KRONLAB_REQUIRE(static_cast<index_t>(part_b.side.size()) == n_b,
+                  "bipartition size mismatch with n_b");
+  graph::BipartiteSubset out;
+  std::vector<index_t> all_a = sa.subset.r;
+  all_a.insert(all_a.end(), sa.subset.t.begin(), sa.subset.t.end());
+  std::sort(all_a.begin(), all_a.end());
+  for (const index_t i : all_a) {
+    for (const index_t k : sb.subset.r) {
+      out.r.push_back(gamma(i, k, n_b));
+    }
+    for (const index_t k : sb.subset.t) {
+      out.t.push_back(gamma(i, k, n_b));
+    }
+  }
+  return out;
+}
+
+double cor1_lower_bound(const FactorCommunity& sa,
+                        const FactorCommunity& sb) {
+  const auto size_a = static_cast<double>(sa.size());
+  KRONLAB_REQUIRE(size_a > 0, "cor1 requires non-empty S_A");
+  const double omega =
+      std::min(static_cast<double>(sa.subset.r.size()),
+               static_cast<double>(sa.subset.t.size())) /
+      size_a;
+  return omega * sa.rho_in() * sb.rho_in();
+}
+
+double cor2_upper_bound(const FactorCommunity& sa,
+                        const FactorCommunity& sb) {
+  KRONLAB_REQUIRE(sa.m_out > 0 && sb.m_out > 0,
+                  "cor2 requires external edges in both factor communities");
+  const double xi_a =
+      static_cast<double>(2 * sa.m_in + sa.size()) /
+      static_cast<double>(sa.m_out);
+  const double xi_b =
+      static_cast<double>(2 * sb.m_in + sb.size()) /
+      static_cast<double>(sb.m_out);
+  const double eps = std::max(
+      {static_cast<double>(sa.size()) /
+           static_cast<double>(sa.n_u + sa.n_w),
+       static_cast<double>(sb.subset.r.size()) / static_cast<double>(sb.n_u),
+       static_cast<double>(sb.subset.t.size()) /
+           static_cast<double>(sb.n_w)});
+  KRONLAB_REQUIRE(eps < 1.0, "cor2 requires epsilon < 1");
+  return (1.0 + xi_a) * (1.0 + xi_b) / (1.0 - eps * eps) * sa.rho_out() *
+         sb.rho_out();
+}
+
+} // namespace kronlab::kron

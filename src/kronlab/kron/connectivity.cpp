@@ -1,0 +1,41 @@
+#include "kronlab/kron/connectivity.hpp"
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/traversal.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::kron {
+
+FactorStructure factor_structure(const Adjacency& a) {
+  FactorStructure fs;
+  fs.connected = graph::is_connected(a);
+  const bool loop_free = grb::has_no_self_loops(a);
+  const bool two_colorable = graph::is_bipartite(a); // self loop ⇒ false
+  fs.bipartite = loop_free && two_colorable;
+  fs.has_odd_closed_walk = !two_colorable;
+  return fs;
+}
+
+ProductPrediction predict(const BipartiteKronecker& kp) {
+  const auto fm = factor_structure(kp.left());
+  const auto fb = factor_structure(kp.right());
+  if (!fm.connected || !fb.connected) {
+    throw domain_error(
+        "predict: both factors must be connected (Assumption 1)");
+  }
+  if (kp.left().nnz() == 0 || kp.right().nnz() == 0) {
+    throw domain_error("predict: factors must have at least one edge");
+  }
+  ProductPrediction pp;
+  pp.bipartite = fm.bipartite || fb.bipartite;
+  if (fm.has_odd_closed_walk || fb.has_odd_closed_walk) {
+    pp.components = 1; // Thm 1 / Thm 2
+  } else {
+    pp.components = 2; // two connected bipartite loop-free factors
+  }
+  pp.connected = (pp.components == 1);
+  return pp;
+}
+
+} // namespace kronlab::kron

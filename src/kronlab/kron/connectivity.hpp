@@ -1,0 +1,40 @@
+// kronlab/kron/connectivity.hpp
+//
+// Structural predictions for Kronecker products (§III, §III-A):
+// bipartiteness of C, and the connectivity results of Weichsel / Thm 1 /
+// Thm 2 — checked from the factors alone, never materializing C.
+
+#pragma once
+
+#include "kronlab/kron/product.hpp"
+
+namespace kronlab::kron {
+
+/// Structure of a factor as it affects the product.
+struct FactorStructure {
+  bool connected = false;
+  bool bipartite = false;      ///< loop-free two-colorable
+  bool has_odd_closed_walk = false; ///< odd cycle OR any self loop
+};
+
+FactorStructure factor_structure(const Adjacency& a);
+
+/// Predicted properties of C = M ⊗ B.
+struct ProductPrediction {
+  bool bipartite = false;  ///< true iff either factor is bipartite (§III)
+  bool connected = false;  ///< valid only when `components` is 1 or 2
+  index_t components = 0;  ///< 1 or 2 (see below)
+};
+
+/// Predict bipartiteness and connectivity of the product of two *connected*
+/// factors:
+///  * C bipartite ⇔ at least one factor is bipartite (loop-free);
+///  * C connected ⇔ at least one factor has an odd closed walk (Thm 1 when
+///    that factor is non-bipartite; Thm 2 when it is a bipartite factor
+///    with full self loops); otherwise C has exactly 2 components
+///    (Weichsel, the Fig. 1 top case).
+/// Throws domain_error if either factor is disconnected (the component
+/// count of C is then not determined by this simple rule).
+ProductPrediction predict(const BipartiteKronecker& kp);
+
+} // namespace kronlab::kron

@@ -1,0 +1,141 @@
+#include "kronlab/kron/distance.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/graph/graph.hpp"
+#include "kronlab/parallel/parallel_for.hpp"
+
+namespace kronlab::kron {
+
+ParityDistances ParityDistances::compute(const Adjacency& a) {
+  graph::require_undirected(a, "ParityDistances");
+  ParityDistances pd;
+  pd.n_ = a.nrows();
+  pd.table_.assign(static_cast<std::size_t>(pd.n_) * pd.n_ * 2,
+                   dist_unreachable);
+  // BFS from each source on the layered (vertex, parity) graph: an edge
+  // step flips parity; a self loop is an ordinary edge whose endpoints
+  // coincide, so it also flips parity — giving odd closed walks.
+  parallel_for(0, pd.n_, [&](index_t s) {
+    auto at = [&](index_t v, int par) -> index_t& {
+      return pd.table_[pd.idx(s, v, par)];
+    };
+    std::deque<std::pair<index_t, int>> frontier;
+    at(s, 0) = 0;
+    frontier.emplace_back(s, 0);
+    while (!frontier.empty()) {
+      const auto [u, par] = frontier.front();
+      frontier.pop_front();
+      const index_t du = at(u, par);
+      const int next_par = 1 - par;
+      for (const index_t v : a.row_cols(u)) {
+        if (at(v, next_par) == dist_unreachable) {
+          at(v, next_par) = du + 1;
+          frontier.emplace_back(v, next_par);
+        }
+      }
+    }
+  });
+  return pd;
+}
+
+index_t ParityDistances::dist(index_t i, index_t j) const {
+  const index_t e = even(i, j);
+  const index_t o = odd(i, j);
+  if (e == dist_unreachable) return o;
+  if (o == dist_unreachable) return e;
+  return std::min(e, o);
+}
+
+namespace {
+
+// Minimum h with walks of length h in both factors at parity `par`, or
+// dist_unreachable.  A length-d^π walk extends to d^π + 2t by retracing an
+// edge — valid except for the trivial 0-walk at an isolated vertex, hence
+// the degree guards.
+index_t combine_parity(index_t dm, index_t db, bool i_has_edge,
+                       bool k_has_edge) {
+  if (dm == dist_unreachable || db == dist_unreachable) {
+    return dist_unreachable;
+  }
+  const index_t h = std::max(dm, db);
+  if (h > dm && dm == 0 && !i_has_edge) return dist_unreachable;
+  if (h > db && db == 0 && !k_has_edge) return dist_unreachable;
+  return h;
+}
+
+} // namespace
+
+index_t product_distance(const BipartiteKronecker& kp,
+                         const ParityDistances& pd_m,
+                         const ParityDistances& pd_b, index_t p,
+                         index_t q) {
+  const auto sh = kp.shape();
+  const auto [i, k] = sh.split_row(p);
+  const auto [j, l] = sh.split_col(q);
+  const bool i_edge = kp.left().row_degree(i) > 0;
+  const bool k_edge = kp.right().row_degree(k) > 0;
+  index_t best = dist_unreachable;
+  for (int par = 0; par < 2; ++par) {
+    const index_t h =
+        combine_parity(pd_m.parity(i, j, par), pd_b.parity(k, l, par),
+                       i_edge, k_edge);
+    if (h == dist_unreachable) continue;
+    if (best == dist_unreachable || h < best) best = h;
+  }
+  return best;
+}
+
+std::vector<index_t> product_eccentricities(const BipartiteKronecker& kp) {
+  const auto pd_m = ParityDistances::compute(kp.left());
+  const auto pd_b = ParityDistances::compute(kp.right());
+  const index_t nm = kp.left().nrows();
+  const index_t nb = kp.right().nrows();
+  std::vector<index_t> ecc(static_cast<std::size_t>(nm * nb), 0);
+  std::atomic<bool> disconnected{false};
+  parallel_for(0, nm * nb, [&](index_t p) {
+    const index_t i = p / nb;
+    const index_t k = p % nb;
+    const bool i_edge = kp.left().row_degree(i) > 0;
+    const bool k_edge = kp.right().row_degree(k) > 0;
+    index_t e = 0;
+    for (index_t j = 0; j < nm && !disconnected.load(std::memory_order_relaxed);
+         ++j) {
+      for (index_t l = 0; l < nb; ++l) {
+        index_t best = dist_unreachable;
+        for (int par = 0; par < 2; ++par) {
+          const index_t h =
+              combine_parity(pd_m.parity(i, j, par),
+                             pd_b.parity(k, l, par), i_edge, k_edge);
+          if (h == dist_unreachable) continue;
+          if (best == dist_unreachable || h < best) best = h;
+        }
+        if (best == dist_unreachable) {
+          disconnected.store(true, std::memory_order_relaxed);
+          return;
+        }
+        e = std::max(e, best);
+      }
+    }
+    ecc[static_cast<std::size_t>(p)] = e;
+  });
+  if (disconnected.load()) {
+    throw domain_error("product_eccentricities: product is disconnected");
+  }
+  return ecc;
+}
+
+index_t product_diameter(const BipartiteKronecker& kp) {
+  const auto ecc = product_eccentricities(kp);
+  return ecc.empty() ? 0 : *std::max_element(ecc.begin(), ecc.end());
+}
+
+index_t product_radius(const BipartiteKronecker& kp) {
+  const auto ecc = product_eccentricities(kp);
+  return ecc.empty() ? 0 : *std::min_element(ecc.begin(), ecc.end());
+}
+
+} // namespace kronlab::kron

@@ -1,0 +1,85 @@
+// kronlab/kron/distance.hpp
+//
+// Ground-truth shortest-path structure for Kronecker products.
+//
+// The paper (§I) notes that ground truth for distances, eccentricity and
+// diameter "carries over directly" from the earlier nonstochastic
+// Kronecker work.  The underlying identity: C = M ⊗ B has a length-h walk
+// from (i,k) to (j,l) iff M has a length-h walk i→j AND B has a length-h
+// walk k→l.  A graph has a length-h walk between two vertices iff
+// h ≥ dist^{h mod 2}, where dist^π is the minimum walk length of parity π
+// (walks extend by +2 by retracing any edge).  Therefore
+//
+//   dist_C((i,k),(j,l)) = min over π ∈ {even, odd} of
+//                         max(dist_M^π(i,j), dist_B^π(k,l)),
+//
+// with ∞ where a parity class is empty (e.g. the odd class of a bipartite
+// same-side pair, or any pair in different components).  Self loops are
+// handled naturally: a loop is a parity-flipping step in the parity BFS —
+// which is exactly why the (A + I_A) ⊗ B construction (Thm 2) is
+// connected.
+//
+// Parity distance tables are O(n²) per factor — factor-sized, so cheap.
+// Product eccentricities are exact but O(n_M²·n_B²) when computed for all
+// vertices; use them on factor scales (the intended regime).
+
+#pragma once
+
+#include <vector>
+
+#include "kronlab/kron/product.hpp"
+
+namespace kronlab::kron {
+
+/// Marker for "no walk of this parity exists".
+inline constexpr index_t dist_unreachable = -1;
+
+/// All-pairs minimum walk lengths split by parity, from BFS on the
+/// (vertex × parity) layered graph.
+class ParityDistances {
+public:
+  /// Compute for one factor (undirected; self loops allowed).
+  static ParityDistances compute(const Adjacency& a);
+
+  [[nodiscard]] index_t n() const { return n_; }
+
+  /// Minimum even-length walk i→j, or dist_unreachable.
+  /// (Note: even(i,i) = 0.)
+  [[nodiscard]] index_t even(index_t i, index_t j) const {
+    return table_[idx(i, j, 0)];
+  }
+  /// Minimum odd-length walk i→j, or dist_unreachable.
+  [[nodiscard]] index_t odd(index_t i, index_t j) const {
+    return table_[idx(i, j, 1)];
+  }
+  /// By parity flag (0 = even, 1 = odd).
+  [[nodiscard]] index_t parity(index_t i, index_t j, int par) const {
+    return table_[idx(i, j, par)];
+  }
+  /// Plain shortest-path distance: min of the two parities.
+  [[nodiscard]] index_t dist(index_t i, index_t j) const;
+
+private:
+  [[nodiscard]] std::size_t idx(index_t i, index_t j, int par) const {
+    KRONLAB_DBG_ASSERT(i >= 0 && i < n_ && j >= 0 && j < n_, "index range");
+    return static_cast<std::size_t>((i * n_ + j) * 2 + par);
+  }
+  index_t n_ = 0;
+  std::vector<index_t> table_;
+};
+
+/// Factor-space distance between product vertices p and q;
+/// dist_unreachable if they lie in different components of C.
+index_t product_distance(const BipartiteKronecker& kp,
+                         const ParityDistances& pd_m,
+                         const ParityDistances& pd_b, index_t p, index_t q);
+
+/// Exact eccentricity of every product vertex, from factor parity tables
+/// only.  Throws domain_error if the product is disconnected.
+std::vector<index_t> product_eccentricities(const BipartiteKronecker& kp);
+
+/// Exact diameter / radius of the product (throws if disconnected).
+index_t product_diameter(const BipartiteKronecker& kp);
+index_t product_radius(const BipartiteKronecker& kp);
+
+} // namespace kronlab::kron

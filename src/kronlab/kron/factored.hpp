@@ -1,0 +1,201 @@
+// kronlab/kron/factored.hpp
+//
+// Factored (sublinear-memory) representations of product-level statistics.
+//
+// The paper's key computational observation (§I): if a statistic of the
+// product C = M ⊗ B has a Kronecker formula f(C) = Σ_s c_s · (g_s ⊗ h_s)
+// with a small number of terms, then storing only the factor-sized g_s, h_s
+// gives O(1) point queries, O(|f(C)|) materialization, and O(Σ|g_s|+|h_s|)
+// global reductions — sublinear in |E_C|.
+//
+// FactoredVector covers vertex statistics (degrees, s_C of Thms 3–4);
+// FactoredMatrix covers edge statistics (◇_C of Thm 5).  Both carry an
+// integer `divisor` so formulas like s_C = ½[...] stay in exact integer
+// arithmetic: the division is applied after the term sum, where the result
+// is provably integral.
+
+#pragma once
+
+#include <vector>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/grb/csr.hpp"
+#include "kronlab/grb/kron.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/grb/vector.hpp"
+#include "kronlab/kron/index_map.hpp"
+
+namespace kronlab::kron {
+
+/// Σ_s c_s · (g_s ⊗ h_s) / divisor over dense factor vectors.
+class FactoredVector {
+public:
+  struct Term {
+    count_t coeff;
+    grb::Vector<count_t> g; ///< left-factor vector (length n_M)
+    grb::Vector<count_t> h; ///< right-factor vector (length n_B)
+  };
+
+  FactoredVector(index_t n_left, index_t n_right, count_t divisor = 1)
+      : n_left_(n_left), n_right_(n_right), divisor_(divisor) {
+    KRONLAB_REQUIRE(n_left >= 0 && n_right >= 0, "negative factor size");
+    KRONLAB_REQUIRE(divisor >= 1, "divisor must be >= 1");
+  }
+
+  void add_term(count_t coeff, grb::Vector<count_t> g,
+                grb::Vector<count_t> h) {
+    KRONLAB_REQUIRE(g.size() == n_left_ && h.size() == n_right_,
+                    "factored term has wrong factor sizes");
+    terms_.push_back({coeff, std::move(g), std::move(h)});
+  }
+
+  [[nodiscard]] index_t size() const { return n_left_ * n_right_; }
+  [[nodiscard]] index_t num_terms() const {
+    return static_cast<index_t>(terms_.size());
+  }
+  [[nodiscard]] count_t divisor() const { return divisor_; }
+  [[nodiscard]] const std::vector<Term>& terms() const { return terms_; }
+
+  /// Point query: value at product index p = γ(i, k).  O(#terms).
+  [[nodiscard]] count_t at(index_t p) const {
+    KRONLAB_DBG_ASSERT(p >= 0 && p < size(), "product index out of range");
+    const index_t i = alpha(p, n_right_);
+    const index_t k = beta(p, n_right_);
+    count_t acc = 0;
+    for (const Term& t : terms_) acc += t.coeff * t.g[i] * t.h[k];
+    KRONLAB_DBG_ASSERT(acc % divisor_ == 0,
+                       "factored value not divisible — formula bug");
+    return acc / divisor_;
+  }
+
+  /// Σ_p value(p), computed in factor space:
+  /// Σ_s c_s·sum(g_s)·sum(h_s) / divisor.  O(Σ |g_s| + |h_s|).
+  [[nodiscard]] count_t reduce() const {
+    count_t acc = 0;
+    for (const Term& t : terms_) {
+      acc += t.coeff * grb::reduce(t.g) * grb::reduce(t.h);
+    }
+    KRONLAB_DBG_ASSERT(acc % divisor_ == 0,
+                       "factored reduction not divisible — formula bug");
+    return acc / divisor_;
+  }
+
+  /// Dense product-length vector (O(|V_C|) memory — validation only).
+  [[nodiscard]] grb::Vector<count_t> materialize() const {
+    grb::Vector<count_t> out(size(), 0);
+    for (const Term& t : terms_) {
+      index_t p = 0;
+      for (index_t i = 0; i < n_left_; ++i) {
+        const count_t gi = t.coeff * t.g[i];
+        for (index_t k = 0; k < n_right_; ++k, ++p) out[p] += gi * t.h[k];
+      }
+    }
+    for (index_t p = 0; p < size(); ++p) {
+      KRONLAB_DBG_ASSERT(out[p] % divisor_ == 0,
+                         "factored value not divisible — formula bug");
+      out[p] /= divisor_;
+    }
+    return out;
+  }
+
+private:
+  index_t n_left_;
+  index_t n_right_;
+  count_t divisor_;
+  std::vector<Term> terms_;
+};
+
+/// Σ_s c_s · (G_s ⊗ H_s) / divisor over factor-sized sparse matrices.
+class FactoredMatrix {
+public:
+  struct Term {
+    count_t coeff;
+    grb::Csr<count_t> g; ///< left-factor matrix (n_M × n_M)
+    grb::Csr<count_t> h; ///< right-factor matrix (n_B × n_B)
+  };
+
+  FactoredMatrix(index_t n_left, index_t n_right, count_t divisor = 1)
+      : n_left_(n_left), n_right_(n_right), divisor_(divisor) {
+    KRONLAB_REQUIRE(n_left >= 0 && n_right >= 0, "negative factor size");
+    KRONLAB_REQUIRE(divisor >= 1, "divisor must be >= 1");
+  }
+
+  void add_term(count_t coeff, grb::Csr<count_t> g, grb::Csr<count_t> h) {
+    KRONLAB_REQUIRE(g.nrows() == n_left_ && g.ncols() == n_left_ &&
+                        h.nrows() == n_right_ && h.ncols() == n_right_,
+                    "factored term has wrong factor shapes");
+    terms_.push_back({coeff, std::move(g), std::move(h)});
+  }
+
+  [[nodiscard]] index_t nrows() const { return n_left_ * n_right_; }
+  [[nodiscard]] index_t ncols() const { return n_left_ * n_right_; }
+  [[nodiscard]] index_t num_terms() const {
+    return static_cast<index_t>(terms_.size());
+  }
+  [[nodiscard]] count_t divisor() const { return divisor_; }
+  [[nodiscard]] const std::vector<Term>& terms() const { return terms_; }
+
+  /// Point query at (p, q) via factor-entry lookups.  O(#terms · log deg).
+  [[nodiscard]] count_t at(index_t p, index_t q) const {
+    const index_t i = alpha(p, n_right_);
+    const index_t k = beta(p, n_right_);
+    const index_t j = alpha(q, n_right_);
+    const index_t l = beta(q, n_right_);
+    count_t acc = 0;
+    for (const Term& t : terms_) {
+      acc += t.coeff * t.g.at(i, j) * t.h.at(k, l);
+    }
+    KRONLAB_DBG_ASSERT(acc % divisor_ == 0,
+                       "factored value not divisible — formula bug");
+    return acc / divisor_;
+  }
+
+  /// Sum of all entries, in factor space.
+  [[nodiscard]] count_t reduce() const {
+    count_t acc = 0;
+    for (const Term& t : terms_) {
+      acc += t.coeff * grb::reduce(t.g) * grb::reduce(t.h);
+    }
+    KRONLAB_DBG_ASSERT(acc % divisor_ == 0,
+                       "factored reduction not divisible — formula bug");
+    return acc / divisor_;
+  }
+
+  /// Row sums as a FactoredVector: rowsum(G⊗H) = rowsum(G) ⊗ rowsum(H).
+  /// This is how s_C = ½ ◇_C 1 is evaluated without leaving factor space.
+  [[nodiscard]] FactoredVector row_reduce(count_t extra_divisor = 1) const {
+    FactoredVector out(n_left_, n_right_, divisor_ * extra_divisor);
+    for (const Term& t : terms_) {
+      out.add_term(t.coeff, grb::reduce_rows(t.g), grb::reduce_rows(t.h));
+    }
+    return out;
+  }
+
+  /// Materialize as a product-sized CSR (validation only).
+  [[nodiscard]] grb::Csr<count_t> materialize() const {
+    KRONLAB_REQUIRE(!terms_.empty(), "cannot materialize empty sum");
+    grb::Csr<count_t> acc =
+        grb::scale(grb::kron(terms_[0].g, terms_[0].h), terms_[0].coeff);
+    for (std::size_t s = 1; s < terms_.size(); ++s) {
+      acc = grb::ewise_add(
+          acc, grb::scale(grb::kron(terms_[s].g, terms_[s].h),
+                          terms_[s].coeff));
+    }
+    if (divisor_ != 1) {
+      for (auto& v : acc.vals()) {
+        KRONLAB_DBG_ASSERT(v % divisor_ == 0,
+                           "factored value not divisible — formula bug");
+        v /= divisor_;
+      }
+    }
+    return acc;
+  }
+
+private:
+  index_t n_left_;
+  index_t n_right_;
+  count_t divisor_;
+  std::vector<Term> terms_;
+};
+
+} // namespace kronlab::kron

@@ -1,0 +1,63 @@
+// kronlab/kron/index_map.hpp
+//
+// Block index maps of §II-A, in 0-based form.
+//
+// The paper defines (1-based) α_n(i) = ⌊(i−1)/n⌋+1, β_n(i) = ((i−1) mod n)+1
+// and γ_n(x,y) = (x−1)n + y.  kronlab uses 0-based indices throughout, so
+// these become plain division/modulo; the tests verify the 1-based identity
+// i = γ(α(i), β(i)) transported to 0-based form.
+
+#pragma once
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/common/types.hpp"
+
+namespace kronlab::kron {
+
+/// Block number of product index p for inner block size n (factor-A index).
+constexpr index_t alpha(index_t p, index_t n) { return p / n; }
+
+/// Intra-block index of p for inner block size n (factor-B index).
+constexpr index_t beta(index_t p, index_t n) { return p % n; }
+
+/// Compose factor indices (x = A-side, y = B-side) into a product index.
+constexpr index_t gamma(index_t x, index_t y, index_t n) {
+  return x * n + y;
+}
+
+/// Shape of a Kronecker product of an (m_a × n_a) and an (m_b × n_b) factor,
+/// bundling the index maps with their block sizes.
+struct ProductShape {
+  index_t rows_a = 0;
+  index_t cols_a = 0;
+  index_t rows_b = 0;
+  index_t cols_b = 0;
+
+  [[nodiscard]] index_t rows() const { return rows_a * rows_b; }
+  [[nodiscard]] index_t cols() const { return cols_a * cols_b; }
+
+  /// Split a product row index p into (i, k).
+  [[nodiscard]] std::pair<index_t, index_t> split_row(index_t p) const {
+    KRONLAB_DBG_ASSERT(p >= 0 && p < rows(), "product row out of range");
+    return {alpha(p, rows_b), beta(p, rows_b)};
+  }
+  /// Split a product column index q into (j, l).
+  [[nodiscard]] std::pair<index_t, index_t> split_col(index_t q) const {
+    KRONLAB_DBG_ASSERT(q >= 0 && q < cols(), "product col out of range");
+    return {alpha(q, cols_b), beta(q, cols_b)};
+  }
+  /// Compose (i, k) into a product row index.
+  [[nodiscard]] index_t row(index_t i, index_t k) const {
+    KRONLAB_DBG_ASSERT(i >= 0 && i < rows_a && k >= 0 && k < rows_b,
+                       "factor row out of range");
+    return gamma(i, k, rows_b);
+  }
+  /// Compose (j, l) into a product column index.
+  [[nodiscard]] index_t col(index_t j, index_t l) const {
+    KRONLAB_DBG_ASSERT(j >= 0 && j < cols_a && l >= 0 && l < cols_b,
+                       "factor col out of range");
+    return gamma(j, l, cols_b);
+  }
+};
+
+} // namespace kronlab::kron

@@ -1,0 +1,80 @@
+// kronlab/kron/partition.hpp
+//
+// Partitioned generation — the shared-memory stand-in for the paper's
+// stated future work ("implement this style of generator in a distributed
+// version of GraphBLAS").
+//
+// The product's row space factors as (i, k) pairs, so contiguous blocks of
+// left-factor rows induce a clean P-way partition of C's rows: rank r owns
+// rows [cut_r, cut_{r+1}) of M, i.e. rows [cut_r·n_B, cut_{r+1}·n_B) of C.
+// Each rank streams exactly its own edges from the two (tiny, replicated)
+// factors — no communication, deterministic output, balanced by stored
+// entries of M.  This is precisely how the distributed generator would lay
+// out work per MPI rank; here the "ranks" are thread-pool workers or
+// separate output files.
+
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "kronlab/kron/product.hpp"
+#include "kronlab/kron/stream.hpp"
+
+namespace kronlab::kron {
+
+/// A P-way row partition of a Kronecker product.
+class PartitionedStream {
+public:
+  /// Split into `parts` ranks, balancing stored entries of the left
+  /// factor (hence edges of C) across ranks.
+  PartitionedStream(const BipartiteKronecker& kp, index_t parts);
+
+  [[nodiscard]] index_t parts() const {
+    return static_cast<index_t>(cuts_.size()) - 1;
+  }
+
+  /// Left-factor row range [begin, end) owned by `rank`.
+  [[nodiscard]] std::pair<index_t, index_t> owned_left_rows(
+      index_t rank) const;
+
+  /// Product row range owned by `rank`.
+  [[nodiscard]] std::pair<index_t, index_t> owned_product_rows(
+      index_t rank) const;
+
+  /// Number of stored entries rank `rank` will emit.
+  [[nodiscard]] count_t entries_of(index_t rank) const;
+
+  /// Visit fn(p, q) for every stored entry whose row is owned by `rank`,
+  /// in row-major order.  The union over ranks is exactly the full entry
+  /// stream; ranges are disjoint.
+  template <typename Fn>
+  void for_each_entry(index_t rank, Fn&& fn) const {
+    const auto [lo, hi] = owned_left_rows(rank);
+    const auto& m = kp_->left();
+    const auto& b = kp_->right();
+    const index_t nb = b.nrows();
+    const index_t ncb = b.ncols();
+    for (index_t i = lo; i < hi; ++i) {
+      const auto mc = m.row_cols(i);
+      for (index_t k = 0; k < nb; ++k) {
+        const index_t p = i * nb + k;
+        const auto bc = b.row_cols(k);
+        for (const index_t j : mc) {
+          const index_t base = j * ncb;
+          for (const index_t l : bc) fn(p, base + l);
+        }
+      }
+    }
+  }
+
+  /// Stream rank `rank`'s entries as "p q" lines (1-based) with a rank
+  /// header — one shard of a distributed edge-list dump.
+  void write_shard(index_t rank, std::ostream& out) const;
+
+private:
+  const BipartiteKronecker* kp_;
+  std::vector<index_t> cuts_; ///< parts+1 left-row cut points
+};
+
+} // namespace kronlab::kron

@@ -1,0 +1,163 @@
+#include "kronlab/kron/power.hpp"
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/grb/kron.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/ground_truth.hpp"
+
+namespace kronlab::kron {
+
+KFactoredVector::KFactoredVector(std::vector<index_t> sizes,
+                                 count_t divisor)
+    : sizes_(std::move(sizes)), divisor_(divisor) {
+  KRONLAB_REQUIRE(!sizes_.empty(), "need at least one factor");
+  KRONLAB_REQUIRE(divisor >= 1, "divisor must be >= 1");
+  for (const index_t n : sizes_) {
+    KRONLAB_REQUIRE(n >= 0, "negative factor size");
+    total_ *= n;
+  }
+}
+
+void KFactoredVector::add_term(count_t coeff,
+                               std::vector<grb::Vector<count_t>> parts) {
+  KRONLAB_REQUIRE(parts.size() == sizes_.size(),
+                  "term must carry one vector per factor");
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    KRONLAB_REQUIRE(parts[i].size() == sizes_[i],
+                    "term part has wrong factor size");
+  }
+  terms_.push_back({coeff, std::move(parts)});
+}
+
+count_t KFactoredVector::at(index_t p) const {
+  KRONLAB_DBG_ASSERT(p >= 0 && p < total_, "product index out of range");
+  // Mixed-radix split, most-significant factor first.
+  count_t acc = 0;
+  for (const Term& t : terms_) {
+    count_t prod = t.coeff;
+    index_t rest = p;
+    for (std::size_t f = sizes_.size(); f-- > 0;) {
+      const index_t n = sizes_[f];
+      prod *= t.parts[f][rest % n];
+      rest /= n;
+    }
+    acc += prod;
+  }
+  KRONLAB_DBG_ASSERT(acc % divisor_ == 0,
+                     "factored value not divisible — formula bug");
+  return acc / divisor_;
+}
+
+count_t KFactoredVector::reduce() const {
+  count_t acc = 0;
+  for (const Term& t : terms_) {
+    count_t prod = t.coeff;
+    for (const auto& part : t.parts) prod *= grb::reduce(part);
+    acc += prod;
+  }
+  KRONLAB_DBG_ASSERT(acc % divisor_ == 0,
+                     "factored reduction not divisible — formula bug");
+  return acc / divisor_;
+}
+
+grb::Vector<count_t> KFactoredVector::materialize() const {
+  grb::Vector<count_t> out(total_, 0);
+  for (const Term& t : terms_) {
+    grb::Vector<count_t> acc(std::vector<count_t>{t.coeff});
+    for (const auto& part : t.parts) acc = grb::kron(acc, part);
+    for (index_t p = 0; p < total_; ++p) out[p] += acc[p];
+  }
+  for (index_t p = 0; p < total_; ++p) {
+    KRONLAB_DBG_ASSERT(out[p] % divisor_ == 0,
+                       "factored value not divisible — formula bug");
+    out[p] /= divisor_;
+  }
+  return out;
+}
+
+ChainKronecker ChainKronecker::of(std::vector<Adjacency> factors) {
+  KRONLAB_REQUIRE(!factors.empty(), "need at least one factor");
+  bool some_loop_free = false;
+  for (const auto& f : factors) {
+    graph::require_undirected(f, "ChainKronecker");
+    some_loop_free |= grb::has_no_self_loops(f);
+  }
+  if (!some_loop_free) {
+    throw domain_error(
+        "ChainKronecker: at least one factor must be loop-free so the "
+        "product is a simple graph (§II-B)");
+  }
+  return ChainKronecker(std::move(factors));
+}
+
+ChainKronecker ChainKronecker::power(const Adjacency& a, int k) {
+  KRONLAB_REQUIRE(k >= 1, "power requires k >= 1");
+  return of(std::vector<Adjacency>(static_cast<std::size_t>(k), a));
+}
+
+index_t ChainKronecker::num_vertices() const {
+  index_t n = 1;
+  for (const auto& f : factors_) n *= f.nrows();
+  return n;
+}
+
+count_t ChainKronecker::num_edges() const {
+  count_t nnz = 1;
+  for (const auto& f : factors_) nnz *= f.nnz();
+  return nnz / 2;
+}
+
+bool ChainKronecker::product_bipartite() const {
+  for (const auto& f : factors_) {
+    if (grb::has_no_self_loops(f) && graph::is_bipartite(f)) return true;
+  }
+  return false;
+}
+
+Adjacency ChainKronecker::materialize() const {
+  Adjacency acc = factors_.front();
+  for (std::size_t f = 1; f < factors_.size(); ++f) {
+    acc = grb::kron(acc, factors_[f]);
+  }
+  return acc;
+}
+
+KFactoredVector ChainKronecker::degrees() const {
+  std::vector<index_t> sizes;
+  std::vector<grb::Vector<count_t>> d;
+  for (const auto& f : factors_) {
+    sizes.push_back(f.nrows());
+    d.push_back(grb::reduce_rows(f));
+  }
+  KFactoredVector out(std::move(sizes));
+  out.add_term(1, std::move(d));
+  return out;
+}
+
+KFactoredVector ChainKronecker::vertex_squares() const {
+  std::vector<index_t> sizes;
+  std::vector<FactorStats> stats;
+  for (const auto& f : factors_) {
+    sizes.push_back(f.nrows());
+    stats.push_back(FactorStats::compute(f));
+  }
+  KFactoredVector out(std::move(sizes), /*divisor=*/2);
+  const auto collect = [&](auto member, count_t coeff) {
+    std::vector<grb::Vector<count_t>> parts;
+    parts.reserve(stats.size());
+    for (const auto& st : stats) parts.push_back(st.*member);
+    out.add_term(coeff, std::move(parts));
+  };
+  collect(&FactorStats::diag4, +1);
+  collect(&FactorStats::d2, -1);
+  collect(&FactorStats::w2, -1);
+  collect(&FactorStats::d, +1);
+  return out;
+}
+
+count_t ChainKronecker::global_squares() const {
+  return vertex_squares().reduce() / 4;
+}
+
+} // namespace kronlab::kron

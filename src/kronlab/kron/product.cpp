@@ -1,0 +1,86 @@
+#include "kronlab/kron/product.hpp"
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/traversal.hpp"
+#include "kronlab/grb/kron.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::kron {
+
+namespace {
+
+void require_structural(const Adjacency& m, const Adjacency& b,
+                        const char* where) {
+  graph::require_undirected(m, where);
+  graph::require_undirected(b, where);
+  if (!grb::has_no_self_loops(b)) {
+    throw domain_error(std::string(where) +
+                       ": right factor B must have no self loops (§II-B)");
+  }
+}
+
+} // namespace
+
+BipartiteKronecker BipartiteKronecker::assumption_i(Adjacency a,
+                                                    Adjacency b) {
+  require_structural(a, b, "assumption_i");
+  if (!grb::has_no_self_loops(a)) {
+    throw domain_error("assumption_i: factor A must have no self loops");
+  }
+  if (graph::is_bipartite(a)) {
+    throw domain_error("assumption_i: factor A must be non-bipartite");
+  }
+  if (!graph::is_connected(a)) {
+    throw domain_error("assumption_i: factor A must be connected");
+  }
+  if (!graph::is_bipartite(b)) {
+    throw domain_error("assumption_i: factor B must be bipartite");
+  }
+  if (!graph::is_connected(b)) {
+    throw domain_error("assumption_i: factor B must be connected");
+  }
+  return BipartiteKronecker(std::move(a), std::move(b), Mode::assumption_i);
+}
+
+BipartiteKronecker BipartiteKronecker::assumption_ii(const Adjacency& a,
+                                                     Adjacency b) {
+  require_structural(a, b, "assumption_ii");
+  if (!grb::has_no_self_loops(a)) {
+    throw domain_error(
+        "assumption_ii: pass the loop-free bipartite A — the self loops "
+        "are added here");
+  }
+  if (!graph::is_bipartite(a)) {
+    throw domain_error("assumption_ii: factor A must be bipartite");
+  }
+  if (!graph::is_connected(a)) {
+    throw domain_error("assumption_ii: factor A must be connected");
+  }
+  if (!graph::is_bipartite(b)) {
+    throw domain_error("assumption_ii: factor B must be bipartite");
+  }
+  if (!graph::is_connected(b)) {
+    throw domain_error("assumption_ii: factor B must be connected");
+  }
+  return BipartiteKronecker(grb::add_identity(a), std::move(b),
+                            Mode::assumption_ii);
+}
+
+BipartiteKronecker BipartiteKronecker::raw(Adjacency m, Adjacency b) {
+  require_structural(m, b, "raw");
+  return BipartiteKronecker(std::move(m), std::move(b), Mode::raw);
+}
+
+bool BipartiteKronecker::has_edge(index_t p, index_t q) const {
+  const auto sh = shape();
+  const auto [i, k] = sh.split_row(p);
+  const auto [j, l] = sh.split_col(q);
+  return m_.has(i, j) && b_.has(k, l);
+}
+
+Adjacency BipartiteKronecker::materialize() const {
+  return grb::kron(m_, b_);
+}
+
+} // namespace kronlab::kron

@@ -1,0 +1,84 @@
+// kronlab/kron/product.hpp
+//
+// The bipartite Kronecker generator — the paper's primary object.
+//
+// A BipartiteKronecker holds the two factors as used in the product
+// C = M ⊗ B, where M is either a non-bipartite factor A (Assumption 1(i))
+// or a bipartite factor with all self loops A + I_A (Assumption 1(ii)), and
+// B is bipartite and loop-free.  The named constructors validate the
+// assumptions of Thms 1 and 2 so every downstream ground-truth call is on
+// solid footing; raw() admits any loop-free-B pair for experimentation
+// (e.g. the disconnected bipartite⊗bipartite product of Fig. 1).
+
+#pragma once
+
+#include "kronlab/graph/graph.hpp"
+#include "kronlab/kron/index_map.hpp"
+
+namespace kronlab::kron {
+
+using graph::Adjacency;
+
+class BipartiteKronecker {
+public:
+  /// Which connectivity construction produced this generator.
+  enum class Mode {
+    assumption_i,  ///< C = A ⊗ B, A non-bipartite (Thm 1)
+    assumption_ii, ///< C = (A + I_A) ⊗ B, A bipartite (Thm 2)
+    raw,           ///< unvalidated beyond structural requirements
+  };
+
+  /// Assumption 1(i): A non-bipartite, undirected, connected, loop-free;
+  /// B bipartite, undirected, connected, loop-free.  Throws domain_error on
+  /// violation.
+  static BipartiteKronecker assumption_i(Adjacency a, Adjacency b);
+
+  /// Assumption 1(ii): A and B bipartite, undirected, connected, loop-free;
+  /// the product uses M = A + I_A.
+  static BipartiteKronecker assumption_ii(const Adjacency& a, Adjacency b);
+
+  /// Any undirected 0/1 pair with loop-free B (the ground-truth formulas'
+  /// minimal requirement, §II-B).  M may carry self loops.
+  static BipartiteKronecker raw(Adjacency m, Adjacency b);
+
+  [[nodiscard]] const Adjacency& left() const { return m_; }
+  [[nodiscard]] const Adjacency& right() const { return b_; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+  [[nodiscard]] ProductShape shape() const {
+    return {m_.nrows(), m_.ncols(), b_.nrows(), b_.ncols()};
+  }
+
+  /// |V_C| = n_M · n_B.
+  [[nodiscard]] index_t num_vertices() const {
+    return m_.nrows() * b_.nrows();
+  }
+
+  /// |E_C| (undirected).  C is loop-free because B is, so this is
+  /// nnz(M)·nnz(B)/2.
+  [[nodiscard]] count_t num_edges() const {
+    return m_.nnz() * b_.nnz() / 2;
+  }
+
+  /// Degree of product vertex p without materializing: d_p = d_M(i)·d_B(k).
+  [[nodiscard]] count_t degree(index_t p) const {
+    const auto [i, k] = shape().split_row(p);
+    return m_.row_degree(i) * b_.row_degree(k);
+  }
+
+  /// True iff product edge (p, q) exists, via two factor lookups.
+  [[nodiscard]] bool has_edge(index_t p, index_t q) const;
+
+  /// Materialize C as a CSR adjacency (O(|E_C|) memory).
+  [[nodiscard]] Adjacency materialize() const;
+
+private:
+  BipartiteKronecker(Adjacency m, Adjacency b, Mode mode)
+      : m_(std::move(m)), b_(std::move(b)), mode_(mode) {}
+
+  Adjacency m_;
+  Adjacency b_;
+  Mode mode_;
+};
+
+} // namespace kronlab::kron

@@ -1,0 +1,44 @@
+#include "kronlab/kron/triangles.hpp"
+
+#include "kronlab/grb/masked.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::kron {
+
+namespace {
+
+/// diag(M³) via one SpGEMM and a masked row-dot: diag(M³)_i = Σ_j (M²)_ij
+/// M_ji = Σ over M's row i of (M²)_ij (M symmetric).
+grb::Vector<count_t> diag_cube(const Adjacency& m) {
+  const auto m2 = grb::mxm(m, m);
+  grb::Vector<count_t> d(m.nrows(), 0);
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    count_t acc = 0;
+    for (const index_t j : m.row_cols(i)) acc += m2.at(i, j);
+    d[i] = acc;
+  }
+  return d;
+}
+
+} // namespace
+
+FactoredVector vertex_triangles(const BipartiteKronecker& kp) {
+  FactoredVector out(kp.left().nrows(), kp.right().nrows(), /*divisor=*/2);
+  out.add_term(1, diag_cube(kp.left()), diag_cube(kp.right()));
+  return out;
+}
+
+FactoredMatrix edge_triangles(const BipartiteKronecker& kp) {
+  const auto& m = kp.left();
+  const auto& b = kp.right();
+  FactoredMatrix out(m.nrows(), b.nrows());
+  // M² ∘ M via the masked product (A·A on the structure of A).
+  out.add_term(1, grb::mxm_masked(m, m, m), grb::mxm_masked(b, b, b));
+  return out;
+}
+
+count_t global_triangles(const BipartiteKronecker& kp) {
+  return vertex_triangles(kp).reduce() / 3;
+}
+
+} // namespace kronlab::kron

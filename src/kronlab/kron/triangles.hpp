@@ -1,0 +1,34 @@
+// kronlab/kron/triangles.hpp
+//
+// Triangle (3-cycle) ground truth for Kronecker products — the formulas of
+// the earlier nonstochastic work ([3], [12]) that this paper extends to
+// 4-cycles.  Included both for completeness and because they prove the
+// paper's framing: with a bipartite factor, the product's triangle ground
+// truth is identically zero (diag(B³) = 0), which is exactly why the
+// 4-cycle formulas are needed.
+//
+// For loop-free C = M ⊗ B (B loop-free):
+//   t_C  = ½ diag(C³)      = ½ (diag(M³) ⊗ diag(B³))       [vertices]
+//   Δ_C  = C² ∘ C          = (M²∘M) ⊗ (B²∘B)               [edges]
+//   #K3  = Σ t_C / 3
+// (When M carries self loops, diag(M³) counts lazy closed walks too; the
+// identities above remain those of the loop-free product C because every
+// term is exactly the Def-driven expansion of C's own powers.)
+
+#pragma once
+
+#include "kronlab/kron/factored.hpp"
+#include "kronlab/kron/product.hpp"
+
+namespace kronlab::kron {
+
+/// t_C — per-vertex triangle counts of the product (1 term, divisor 2).
+FactoredVector vertex_triangles(const BipartiteKronecker& kp);
+
+/// Δ_C — per-edge triangle counts (1 term).
+FactoredMatrix edge_triangles(const BipartiteKronecker& kp);
+
+/// Global triangle count (0 whenever a factor is bipartite — §III).
+count_t global_triangles(const BipartiteKronecker& kp);
+
+} // namespace kronlab::kron

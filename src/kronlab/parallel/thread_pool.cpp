@@ -1,0 +1,90 @@
+#include "kronlab/parallel/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace kronlab {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads - 1);
+  for (std::size_t id = 1; id < num_threads; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::size_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    try {
+      (*job)(id);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    fn(0); // single-threaded pool: just run inline
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    remaining_ = workers_.size();
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  // The calling thread participates as worker 0.
+  std::exception_ptr local_error;
+  try {
+    fn(0);
+  } catch (...) {
+    local_error = std::current_exception();
+  }
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (local_error) std::rethrow_exception(local_error);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("KRONLAB_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return static_cast<std::size_t>(0);
+  }());
+  return pool;
+}
+
+} // namespace kronlab

@@ -1,0 +1,62 @@
+// kronlab/parallel/thread_pool.hpp
+//
+// A small fixed-size thread pool used by the parallel kernels.
+//
+// Design notes (following the shared-memory model of the HPC guides):
+//  * All parallelism in kronlab is explicit fork/join over index ranges —
+//    there are no detached tasks, so shutdown is deterministic (RAII).
+//  * The pool is created once (see global_pool()) because thread creation
+//    costs dominate kernels on factor-sized inputs.
+//  * Exceptions thrown by workers are captured and rethrown on the calling
+//    thread after the join, so parallel kernels keep the same error contract
+//    as serial ones.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kronlab {
+
+class ThreadPool {
+public:
+  /// Create a pool with `num_threads` workers.  `num_threads == 0` selects
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run `fn(worker_id)` on every worker (ids 0..size()-1, id 0 is the
+  /// calling thread) and wait for all of them.  Rethrows the first captured
+  /// worker exception.
+  void run(const std::function<void(std::size_t)>& fn);
+
+private:
+  void worker_loop(std::size_t id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t epoch_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Process-wide pool, sized from the environment variable KRONLAB_THREADS if
+/// set, else hardware concurrency.
+ThreadPool& global_pool();
+
+} // namespace kronlab

@@ -1,0 +1,100 @@
+// Tests for the sampling-based approximate butterfly counters, scored
+// against exact counts — the paper's validation use case in miniature.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/approx_butterflies.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::graph {
+namespace {
+
+using Estimator = ButterflyEstimate (*)(const Adjacency&, index_t, Rng&);
+
+struct Named {
+  const char* name;
+  Estimator fn;
+};
+
+const Named kEstimators[] = {
+    {"vertex", approx_butterflies_vertex},
+    {"edge", approx_butterflies_edge},
+    {"wedge", approx_butterflies_wedge},
+};
+
+class EstimatorTest : public ::testing::TestWithParam<int> {
+protected:
+  const Named& est() const { return kEstimators[GetParam()]; }
+};
+
+TEST_P(EstimatorTest, ExactOnVertexTransitiveGraphs) {
+  // On edge/vertex-transitive graphs every sample sees the same local
+  // count, so even one sample is exact.
+  Rng rng(1);
+  const auto crown = gen::crown_graph(5);
+  const auto exact = static_cast<double>(global_butterflies(crown));
+  const auto e = est().fn(crown, 8, rng);
+  EXPECT_DOUBLE_EQ(e.estimate, exact) << est().name;
+}
+
+TEST_P(EstimatorTest, ZeroOnSquareFreeGraphs) {
+  Rng rng(2);
+  const auto tree = gen::double_star(4, 4);
+  EXPECT_DOUBLE_EQ(est().fn(tree, 50, rng).estimate, 0.0) << est().name;
+}
+
+TEST_P(EstimatorTest, ConvergesWithinTolerance) {
+  Rng rng(3 + static_cast<std::uint64_t>(GetParam()));
+  const auto g = gen::preferential_bipartite(40, 40, 220, rng);
+  const auto exact = static_cast<double>(global_butterflies(g));
+  ASSERT_GT(exact, 0.0);
+  const auto e = est().fn(g, 4000, rng);
+  // 4000 samples on an 80-vertex graph: well-mixed; allow 15% relative
+  // error (seeds are fixed, so this is deterministic, not flaky).
+  EXPECT_NEAR(e.estimate / exact, 1.0, 0.15) << est().name;
+}
+
+TEST_P(EstimatorTest, AveragesOfManyRunsAreUnbiased) {
+  Rng rng(11 + static_cast<std::uint64_t>(GetParam()));
+  const auto g = gen::random_bipartite(20, 20, 110, rng);
+  const auto exact = static_cast<double>(global_butterflies(g));
+  ASSERT_GT(exact, 0.0);
+  double acc = 0.0;
+  const int runs = 60;
+  for (int r = 0; r < runs; ++r) {
+    acc += est().fn(g, 40, rng).estimate;
+  }
+  EXPECT_NEAR(acc / runs / exact, 1.0, 0.2) << est().name;
+}
+
+TEST_P(EstimatorTest, ValidatesInput) {
+  Rng rng(5);
+  const auto looped = grb::add_identity(gen::path_graph(3));
+  EXPECT_THROW(est().fn(looped, 10, rng), domain_error);
+  EXPECT_THROW(est().fn(gen::path_graph(3), 0, rng), invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, EstimatorTest, ::testing::Range(0, 3));
+
+TEST(Estimators, ReportSampleCounts) {
+  Rng rng(6);
+  const auto g = gen::complete_bipartite(4, 4);
+  EXPECT_EQ(approx_butterflies_vertex(g, 17, rng).samples, 17);
+  EXPECT_EQ(approx_butterflies_edge(g, 23, rng).samples, 23);
+  EXPECT_EQ(approx_butterflies_wedge(g, 31, rng).samples, 31);
+}
+
+TEST(Estimators, DeterministicUnderSeed) {
+  const auto g = gen::crown_graph(6);
+  Rng r1(42), r2(42);
+  EXPECT_DOUBLE_EQ(approx_butterflies_edge(g, 100, r1).estimate,
+                   approx_butterflies_edge(g, 100, r2).estimate);
+}
+
+} // namespace
+} // namespace kronlab::graph

@@ -1,0 +1,150 @@
+// Tests for the bipartite clustering-coefficient variants and their
+// product-level ground truth.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/bipartite_clustering.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab {
+namespace {
+
+TEST(ThreePaths, ClosedForms) {
+  // P4 contains exactly one 3-path.
+  EXPECT_EQ(graph::three_paths(gen::path_graph(4)), 1);
+  // C4: each of the 4 edges is interior to (2−1)(2−1) = 1 path → 4.
+  EXPECT_EQ(graph::three_paths(gen::cycle_graph(4)), 4);
+  // Stars have no 3-paths (one interior vertex would need degree ≥ 2 on
+  // both interior endpoints).
+  EXPECT_EQ(graph::three_paths(gen::star_graph(9)), 0);
+  // K_{m,n}: m·n edges, each interior to (m−1)(n−1) paths.
+  EXPECT_EQ(graph::three_paths(gen::complete_bipartite(3, 4)),
+            12 * (2 * 3));
+}
+
+TEST(ThreePaths, BruteForceAgreement) {
+  Rng rng(71);
+  const auto g = gen::random_bipartite(7, 8, 25, rng);
+  // Brute force: ordered walks x–p–q–y with 4 distinct vertices, /2.
+  count_t brute = 0;
+  for (index_t p = 0; p < g.nrows(); ++p) {
+    for (const index_t q : g.row_cols(p)) {
+      for (const index_t x : g.row_cols(p)) {
+        if (x == q) continue;
+        for (const index_t y : g.row_cols(q)) {
+          if (y == p || y == x) continue;
+          ++brute;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(graph::three_paths(g), brute / 2);
+}
+
+TEST(RobinsAlexander, ExtremeValues) {
+  // Complete bipartite graphs are maximally clustered: every 3-path
+  // closes.
+  EXPECT_DOUBLE_EQ(graph::robins_alexander_cc(gen::complete_bipartite(3, 4)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(graph::robins_alexander_cc(gen::complete_bipartite(5, 2)),
+                   1.0);
+  // Trees: no squares.
+  EXPECT_DOUBLE_EQ(graph::robins_alexander_cc(gen::double_star(3, 3)), 0.0);
+  // C4 closes all 4 of its paths: 4·1/4 = 1.
+  EXPECT_DOUBLE_EQ(graph::robins_alexander_cc(gen::cycle_graph(4)), 1.0);
+  // C8: 8 paths, no squares.
+  EXPECT_DOUBLE_EQ(graph::robins_alexander_cc(gen::cycle_graph(8)), 0.0);
+  // Degenerate: no paths at all.
+  EXPECT_DOUBLE_EQ(graph::robins_alexander_cc(gen::star_graph(3)), 0.0);
+}
+
+TEST(RobinsAlexander, CoefficientIsAClosureFraction) {
+  Rng rng(72);
+  for (int t = 0; t < 5; ++t) {
+    const auto g = gen::random_bipartite(8, 9, 30 + t, rng);
+    const double cc = graph::robins_alexander_cc(g);
+    EXPECT_GE(cc, 0.0);
+    EXPECT_LE(cc, 1.0);
+  }
+}
+
+TEST(LocalClosure, HubsOfTreesAreOpen) {
+  const auto closure = graph::local_closure(gen::double_star(3, 3));
+  for (index_t v = 0; v < closure.size(); ++v) {
+    EXPECT_DOUBLE_EQ(closure[v], 0.0);
+  }
+}
+
+TEST(LocalClosure, CompleteBipartiteFullyClosed) {
+  const auto closure = graph::local_closure(gen::complete_bipartite(3, 3));
+  for (index_t v = 0; v < closure.size(); ++v) {
+    EXPECT_DOUBLE_EQ(closure[v], 1.0);
+  }
+}
+
+TEST(LocalClosure, InUnitInterval) {
+  Rng rng(73);
+  const auto g = gen::random_bipartite(10, 10, 40, rng);
+  const auto closure = graph::local_closure(g);
+  for (index_t v = 0; v < closure.size(); ++v) {
+    EXPECT_GE(closure[v], 0.0);
+    EXPECT_LE(closure[v], 1.0);
+  }
+}
+
+TEST(ClusteringVariants, RejectNonBipartite) {
+  EXPECT_THROW(graph::three_paths(gen::complete_graph(4)), domain_error);
+  EXPECT_THROW(graph::robins_alexander_cc(gen::cycle_graph(5)),
+               domain_error);
+  EXPECT_THROW(graph::local_closure(gen::complete_graph(3)), domain_error);
+}
+
+// -------------------------------------------------------------------------
+// Product-level ground truth.
+
+class ProductCcTest : public ::testing::TestWithParam<int> {
+protected:
+  kron::BipartiteKronecker make() const {
+    switch (GetParam() % 3) {
+      case 0:
+        return kron::BipartiteKronecker::assumption_i(
+            gen::triangle_with_tail(GetParam() / 3),
+            gen::complete_bipartite(2, 3));
+      case 1:
+        return kron::BipartiteKronecker::assumption_ii(
+            gen::star_graph(2 + GetParam() / 3), gen::crown_graph(3));
+      default: {
+        Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+        return kron::BipartiteKronecker::raw(
+            grb::add_identity(gen::random_bipartite(4, 4, 9, rng)),
+            gen::random_bipartite(4, 5, 11, rng));
+      }
+    }
+  }
+};
+
+TEST_P(ProductCcTest, ThreePathsMatchDirect) {
+  const auto kp = make();
+  EXPECT_EQ(kron::product_three_paths(kp),
+            graph::three_paths(kp.materialize()));
+}
+
+TEST_P(ProductCcTest, RobinsAlexanderMatchesDirect) {
+  const auto kp = make();
+  EXPECT_DOUBLE_EQ(kron::product_robins_alexander_cc(kp),
+                   graph::robins_alexander_cc(kp.materialize()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Products, ProductCcTest, ::testing::Range(0, 9));
+
+TEST(ProductCc, RequiresBipartiteRightFactor) {
+  const auto kp = kron::BipartiteKronecker::raw(
+      gen::complete_graph(3), gen::triangle_with_tail(1));
+  EXPECT_THROW(kron::product_three_paths(kp), domain_error);
+}
+
+} // namespace
+} // namespace kronlab

@@ -1,0 +1,138 @@
+// Tests for kronlab/common: error macros, timer formatting, PRNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/common/random.hpp"
+#include "kronlab/common/timer.hpp"
+
+namespace kronlab {
+namespace {
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(KRONLAB_REQUIRE(false, "boom"), invalid_argument);
+  EXPECT_NO_THROW(KRONLAB_REQUIRE(true, "fine"));
+}
+
+TEST(Error, MessageNamesConditionAndNote) {
+  try {
+    KRONLAB_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw domain_error("d"), error);
+  EXPECT_THROW(throw io_error("i"), error);
+  EXPECT_THROW(throw invalid_argument("a"), error);
+}
+
+TEST(Timer, FormatDuration) {
+  EXPECT_EQ(format_duration(2.5), "2.500 s");
+  EXPECT_EQ(format_duration(0.0125), "12.500 ms");
+  EXPECT_EQ(format_duration(25e-6), "25.0 us");
+}
+
+TEST(Timer, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(3155072), "3,155,072");
+  EXPECT_EQ(format_count(-1234567), "-1,234,567");
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer t;
+  volatile long sink = 0;
+  for (long i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), t.seconds()); // ms numerically >= s for t>0
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const index_t v = rng.uniform(3, 6);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 6);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ZipfSamplesInRangeAndSkewed) {
+  Rng rng(5);
+  const index_t n = 100;
+  std::vector<int> hist(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const index_t v = zipf_sample(rng, n, 1.8);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, n);
+    ++hist[static_cast<std::size_t>(v)];
+  }
+  // Rank 1 must dominate rank 10 decisively for alpha = 1.8.
+  EXPECT_GT(hist[1], 5 * hist[10]);
+}
+
+TEST(Rng, ZipfRejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(zipf_sample(rng, 0, 1.5), invalid_argument);
+  EXPECT_THROW(zipf_sample(rng, 10, -1.0), invalid_argument);
+}
+
+TEST(Rng, ZipfDegenerateSingleton) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf_sample(rng, 1, 2.0), 1);
+}
+
+} // namespace
+} // namespace kronlab

@@ -1,0 +1,251 @@
+// Tests for the factor generators: structural guarantees, determinism,
+// and parameter validation.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/bter.hpp"
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/konect.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/gen/rmat.hpp"
+#include "kronlab/gen/unicode_like.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/community.hpp"
+#include "kronlab/graph/stats.hpp"
+#include "kronlab/graph/traversal.hpp"
+#include "kronlab/graph/triangles.hpp"
+#include "kronlab/grb/ops.hpp"
+
+#include <sstream>
+
+namespace kronlab::gen {
+namespace {
+
+TEST(Canonical, PathCycleStarShapes) {
+  EXPECT_EQ(graph::num_edges(path_graph(5)), 4);
+  EXPECT_EQ(graph::num_edges(cycle_graph(5)), 5);
+  EXPECT_EQ(graph::num_edges(star_graph(7)), 7);
+  EXPECT_EQ(graph::num_edges(complete_graph(5)), 10);
+  EXPECT_EQ(graph::num_edges(complete_bipartite(3, 4)), 12);
+  EXPECT_EQ(graph::num_edges(crown_graph(4)), 12);
+  EXPECT_EQ(graph::num_edges(hypercube(4)), 32);
+  EXPECT_EQ(graph::num_edges(grid_graph(3, 4)), 17);
+  EXPECT_EQ(graph::num_edges(double_star(2, 3)), 6);
+  EXPECT_EQ(graph::num_edges(triangle_with_tail(2)), 5);
+}
+
+TEST(Canonical, BipartitenessMatrix) {
+  EXPECT_TRUE(graph::is_bipartite(path_graph(6)));
+  EXPECT_TRUE(graph::is_bipartite(cycle_graph(6)));
+  EXPECT_FALSE(graph::is_bipartite(cycle_graph(7)));
+  EXPECT_TRUE(graph::is_bipartite(star_graph(4)));
+  EXPECT_FALSE(graph::is_bipartite(complete_graph(3)));
+  EXPECT_TRUE(graph::is_bipartite(complete_bipartite(2, 5)));
+  EXPECT_TRUE(graph::is_bipartite(crown_graph(3)));
+  EXPECT_TRUE(graph::is_bipartite(hypercube(5)));
+  EXPECT_TRUE(graph::is_bipartite(grid_graph(4, 4)));
+  EXPECT_FALSE(graph::is_bipartite(triangle_with_tail(4)));
+}
+
+TEST(Canonical, ParameterValidation) {
+  EXPECT_THROW(path_graph(0), invalid_argument);
+  EXPECT_THROW(cycle_graph(2), invalid_argument);
+  EXPECT_THROW(star_graph(0), invalid_argument);
+  EXPECT_THROW(crown_graph(2), invalid_argument);
+  EXPECT_THROW(hypercube(-1), invalid_argument);
+  EXPECT_THROW(grid_graph(0, 3), invalid_argument);
+}
+
+TEST(Canonical, DisjointUnionBlocks) {
+  const auto g = disjoint_union(cycle_graph(3), path_graph(2));
+  EXPECT_EQ(g.nrows(), 5);
+  EXPECT_EQ(graph::num_edges(g), 4);
+  EXPECT_FALSE(graph::is_connected(g));
+  EXPECT_FALSE(g.has(2, 3)); // no cross-block edges
+}
+
+TEST(RandomBipartite, ExactEdgeCountAndBipartite) {
+  Rng rng(1);
+  const auto g = random_bipartite(10, 15, 60, rng);
+  EXPECT_EQ(graph::num_edges(g), 60);
+  EXPECT_TRUE(graph::is_bipartite(g));
+  EXPECT_EQ(graph::global_triangles(g), 0);
+}
+
+TEST(RandomBipartite, Determinism) {
+  Rng r1(7), r2(7);
+  EXPECT_EQ(random_bipartite(6, 6, 18, r1), random_bipartite(6, 6, 18, r2));
+}
+
+TEST(RandomBipartite, RejectsOverfullRequests) {
+  Rng rng(1);
+  EXPECT_THROW(random_bipartite(3, 3, 10, rng), invalid_argument);
+}
+
+TEST(ConnectedRandomBipartite, IsConnectedAndSized) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    const auto g = connected_random_bipartite(7, 9, 30, rng);
+    EXPECT_TRUE(graph::is_connected(g)) << "seed " << seed;
+    EXPECT_TRUE(graph::is_bipartite(g));
+    EXPECT_EQ(graph::num_edges(g), 30);
+  }
+}
+
+TEST(ConnectedRandomBipartite, RejectsTooFewEdges) {
+  Rng rng(1);
+  EXPECT_THROW(connected_random_bipartite(5, 5, 8, rng), invalid_argument);
+}
+
+TEST(PreferentialBipartite, HeavyTailSkew) {
+  Rng rng(3);
+  const auto g = preferential_bipartite(60, 60, 350, rng);
+  EXPECT_EQ(graph::num_edges(g), 350);
+  EXPECT_TRUE(graph::is_bipartite(g));
+  const auto sum = graph::degree_summary(g);
+  // Preferential attachment must produce hubs well above the mean.
+  EXPECT_GT(static_cast<double>(sum.max_degree), 3.0 * sum.mean_degree);
+}
+
+TEST(PreferentialBipartite, NearCompleteFallbackTerminates) {
+  Rng rng(3);
+  const auto g = preferential_bipartite(4, 4, 16, rng); // complete
+  EXPECT_EQ(graph::num_edges(g), 16);
+}
+
+TEST(ChungLu, ExpectedDegreesTrackWeights) {
+  Rng rng(12);
+  std::vector<double> wu(40, 2.0), ww(40, 2.0);
+  wu[0] = 30.0; // one heavy left vertex
+  const auto g = chung_lu_bipartite(wu, ww, rng);
+  EXPECT_TRUE(graph::is_bipartite(g));
+  const auto d = graph::degrees(g);
+  EXPECT_GT(d[0], 10); // ~28 expected
+}
+
+TEST(ChungLu, RejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(chung_lu_bipartite({}, {1.0}, rng), invalid_argument);
+  EXPECT_THROW(chung_lu_bipartite({-1.0}, {1.0}, rng), invalid_argument);
+  EXPECT_THROW(chung_lu_bipartite({0.0}, {0.0}, rng), invalid_argument);
+}
+
+TEST(PlantedCommunity, DenseBlockIsDense) {
+  PlantedCommunity pc;
+  pc.nu = 30;
+  pc.nw = 30;
+  pc.r = 10;
+  pc.t = 10;
+  pc.p_in = 0.9;
+  pc.p_out = 0.01;
+  Rng rng(8);
+  const auto g = planted_community_bipartite(pc, rng);
+  const auto part = graph::two_color(g).value();
+  graph::BipartiteSubset s;
+  for (index_t i = 0; i < pc.r; ++i) s.r.push_back(i);
+  for (index_t k = 0; k < pc.t; ++k) s.t.push_back(pc.nu + k);
+  const auto st = graph::community_stats(g, part, s);
+  EXPECT_GT(st.rho_in, 0.7);
+  EXPECT_LT(st.rho_out, 0.1);
+}
+
+TEST(RandomNonbipartite, ConnectedWithOddCycle) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    const auto g = random_nonbipartite_connected(9, 16, rng);
+    EXPECT_TRUE(graph::is_connected(g)) << "seed " << seed;
+    EXPECT_FALSE(graph::is_bipartite(g)) << "seed " << seed;
+    EXPECT_TRUE(grb::has_no_self_loops(g));
+  }
+}
+
+TEST(Rmat, GeneratesWithinGrid) {
+  RmatParams p;
+  p.scale_u = 6;
+  p.scale_w = 7;
+  p.edges = 500;
+  Rng rng(5);
+  const auto g = rmat_bipartite(p, rng);
+  EXPECT_EQ(g.nrows(), 64 + 128);
+  EXPECT_TRUE(graph::is_bipartite(g));
+  EXPECT_LE(graph::num_edges(g), 500); // dedup may drop duplicates
+  EXPECT_GT(graph::num_edges(g), 300);
+}
+
+TEST(Rmat, SkewedQuadrantsProduceSkewedDegrees) {
+  RmatParams p;
+  p.scale_u = 7;
+  p.scale_w = 7;
+  p.edges = 1000;
+  Rng rng(6);
+  const auto g = rmat_bipartite(p, rng);
+  EXPECT_GT(graph::degree_summary(g).gini, 0.3);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  RmatParams p;
+  p.a = 0.5;
+  p.b = 0.5;
+  p.c = 0.5;
+  p.d = 0.5;
+  Rng rng(1);
+  EXPECT_THROW(rmat_bipartite(p, rng), invalid_argument);
+}
+
+TEST(Bter, DiagonalBlocksAreDenser) {
+  BterParams p;
+  p.blocks = 3;
+  p.block_u = 10;
+  p.block_w = 10;
+  p.p_in = 0.5;
+  p.p_out = 0.01;
+  Rng rng(2);
+  const auto g = bter_bipartite(p, rng);
+  EXPECT_TRUE(graph::is_bipartite(g));
+  const index_t nu = 30;
+  count_t in_block = 0, off_block = 0;
+  for (index_t u = 0; u < nu; ++u) {
+    for (const index_t c : g.row_cols(u)) {
+      const index_t w = c - nu;
+      if (u / 10 == w / 10) {
+        ++in_block;
+      } else {
+        ++off_block;
+      }
+    }
+  }
+  EXPECT_GT(in_block, 5 * off_block);
+}
+
+TEST(UnicodeLike, MatchesKonectShape) {
+  const auto g = unicode_like();
+  EXPECT_EQ(g.nrows(), 254 + 614);
+  EXPECT_EQ(graph::num_edges(g), 1256);
+  EXPECT_TRUE(graph::is_bipartite(g));
+  // Heavy-tail shape comparable to the real dataset.
+  const auto sum = graph::degree_summary(g);
+  EXPECT_GT(sum.max_degree, 30);
+  EXPECT_GT(sum.gini, 0.4);
+  // Like the real unicode network, the stand-in is disconnected.
+  EXPECT_FALSE(graph::is_connected(g));
+}
+
+TEST(UnicodeLike, DeterministicCanonicalInstance) {
+  EXPECT_EQ(unicode_like(), unicode_like());
+}
+
+TEST(Konect, EdgeListToAdjacency) {
+  grb::BipartiteEdgeList el;
+  el.n_left = 3;
+  el.n_right = 2;
+  el.edges = {{0, 0}, {2, 1}, {0, 0}}; // duplicate collapses
+  const auto a = bipartite_adjacency_from_edge_list(el);
+  EXPECT_EQ(a.nrows(), 5);
+  EXPECT_TRUE(graph::is_bipartite(a));
+  EXPECT_EQ(graph::num_edges(a), 2);
+  EXPECT_TRUE(a.has(0, 3));
+  EXPECT_TRUE(a.has(2, 4));
+}
+
+} // namespace
+} // namespace kronlab::gen

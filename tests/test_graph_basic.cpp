@@ -1,0 +1,108 @@
+// Tests for graph construction, predicates and basic statistics.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/graph/graph.hpp"
+#include "kronlab/graph/stats.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::graph {
+namespace {
+
+TEST(Graph, FromUndirectedEdgesSymmetrizesAndDedups) {
+  const auto a = from_undirected_edges(4, {{0, 1}, {1, 0}, {2, 3}});
+  EXPECT_EQ(a.nnz(), 4); // duplicate (0,1)/(1,0) collapses
+  EXPECT_TRUE(is_undirected_adjacency(a));
+  EXPECT_EQ(num_edges(a), 2);
+}
+
+TEST(Graph, FromUndirectedEdgesRejectsOutOfRange) {
+  EXPECT_THROW(from_undirected_edges(2, {{0, 2}}), invalid_argument);
+  EXPECT_THROW(from_undirected_edges(2, {{-1, 0}}), invalid_argument);
+}
+
+TEST(Graph, SelfLoopCountsAsOneEdge) {
+  const auto a = from_undirected_edges(3, {{0, 0}, {1, 2}});
+  EXPECT_EQ(num_self_loops(a), 1);
+  EXPECT_EQ(num_edges(a), 2);
+  EXPECT_EQ(degrees(a)[0], 1);
+}
+
+TEST(Graph, RequireUndirectedThrowsOnDirected) {
+  grb::Coo<count_t> coo(2, 2);
+  coo.push(0, 1, 1); // missing reverse edge
+  const auto a = Adjacency::from_coo(coo);
+  EXPECT_THROW(require_undirected(a, "test"), domain_error);
+}
+
+TEST(Graph, RequireUndirectedThrowsOnNonBoolean) {
+  grb::Coo<count_t> coo(2, 2);
+  coo.push(0, 1, 2);
+  coo.push(1, 0, 2);
+  const auto a = Adjacency::from_coo(coo);
+  EXPECT_THROW(require_undirected(a, "test"), domain_error);
+}
+
+TEST(Graph, DegreesAndTwoHopWalks) {
+  const auto p4 = gen::path_graph(4);
+  EXPECT_EQ(degrees(p4).data(), (std::vector<count_t>{1, 2, 2, 1}));
+  // w²_i = Σ_{j∈N(i)} d_j.
+  EXPECT_EQ(two_hop_walks(p4).data(), (std::vector<count_t>{2, 3, 3, 2}));
+  EXPECT_EQ(max_degree(p4), 2);
+}
+
+TEST(Graph, StripSelfLoops) {
+  const auto a = from_undirected_edges(3, {{0, 0}, {0, 1}, {1, 2}});
+  const auto b = strip_self_loops(a);
+  EXPECT_EQ(num_self_loops(b), 0);
+  EXPECT_EQ(num_edges(b), 2);
+  EXPECT_TRUE(b.has(0, 1));
+}
+
+TEST(Stats, DegreeHistogram) {
+  const auto s = gen::star_graph(5);
+  const auto h = degree_histogram(s);
+  EXPECT_EQ(h.at(1), 5);
+  EXPECT_EQ(h.at(5), 1);
+}
+
+TEST(Stats, DegreeSummaryOnStar) {
+  const auto s = gen::star_graph(9);
+  const auto sum = degree_summary(s);
+  EXPECT_EQ(sum.max_degree, 9);
+  EXPECT_DOUBLE_EQ(sum.mean_degree, 1.8);
+  EXPECT_EQ(sum.median_degree, 1);
+  EXPECT_GT(sum.gini, 0.3); // a star is maximally skewed
+}
+
+TEST(Stats, DegreeSummaryOnRegularGraphHasZeroGini) {
+  const auto c = gen::cycle_graph(6);
+  const auto sum = degree_summary(c);
+  EXPECT_EQ(sum.max_degree, 2);
+  EXPECT_NEAR(sum.gini, 0.0, 1e-12);
+}
+
+TEST(Stats, DegreeBinnedAggregates) {
+  const auto s = gen::star_graph(3); // hub degree 3, leaves degree 1
+  grb::Vector<count_t> vals(std::vector<count_t>{10, 1, 2, 3});
+  const auto bins = degree_binned(s, vals);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].degree, 1);
+  EXPECT_EQ(bins[0].vertices, 3);
+  EXPECT_DOUBLE_EQ(bins[0].mean, 2.0);
+  EXPECT_EQ(bins[0].min, 1);
+  EXPECT_EQ(bins[0].max, 3);
+  EXPECT_EQ(bins[1].degree, 3);
+  EXPECT_EQ(bins[1].vertices, 1);
+  EXPECT_DOUBLE_EQ(bins[1].mean, 10.0);
+}
+
+TEST(Stats, DegreeBinnedRejectsSizeMismatch) {
+  const auto s = gen::star_graph(3);
+  EXPECT_THROW(degree_binned(s, grb::Vector<count_t>(2)),
+               invalid_argument);
+}
+
+} // namespace
+} // namespace kronlab::graph

@@ -1,0 +1,84 @@
+// Tests for two-coloring, bipartition structure and biadjacency blocks.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/graph/bipartite.hpp"
+
+namespace kronlab::graph {
+namespace {
+
+TEST(TwoColor, EvenCycleIsBipartite) {
+  const auto part = two_color(gen::cycle_graph(6));
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->size_u(), 3);
+  EXPECT_EQ(part->size_w(), 3);
+  // Alternating colors along the cycle.
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(part->side[i], i % 2);
+}
+
+TEST(TwoColor, OddCycleIsNot) {
+  EXPECT_FALSE(is_bipartite(gen::cycle_graph(5)));
+  EXPECT_FALSE(is_bipartite(gen::complete_graph(3)));
+}
+
+TEST(TwoColor, SelfLoopBreaksBipartiteness) {
+  const auto a = from_undirected_edges(2, {{0, 1}, {1, 1}});
+  EXPECT_FALSE(is_bipartite(a));
+}
+
+TEST(TwoColor, DisconnectedGraphColorsEachComponent) {
+  const auto g =
+      gen::disjoint_union(gen::path_graph(3), gen::cycle_graph(4));
+  const auto part = two_color(g);
+  ASSERT_TRUE(part.has_value());
+  // Every edge must cross the sides.
+  for (index_t i = 0; i < g.nrows(); ++i) {
+    for (const index_t j : g.row_cols(i)) {
+      EXPECT_NE(part->side[static_cast<std::size_t>(i)],
+                part->side[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+TEST(TwoColor, MixedComponentsDetectOddCycleAnywhere) {
+  const auto g =
+      gen::disjoint_union(gen::path_graph(3), gen::cycle_graph(5));
+  EXPECT_FALSE(is_bipartite(g));
+}
+
+TEST(Bipartition, VertexListsPartition) {
+  const auto part = two_color(gen::complete_bipartite(2, 3)).value();
+  const auto u = part.u_vertices();
+  const auto w = part.w_vertices();
+  EXPECT_EQ(u, (std::vector<index_t>{0, 1}));
+  EXPECT_EQ(w, (std::vector<index_t>{2, 3, 4}));
+}
+
+TEST(Biadjacency, RoundTripThroughBlockForm) {
+  const auto x = grb::Csr<count_t>::from_dense(2, 3, {1, 0, 1, 0, 1, 0});
+  const auto a = bipartite_from_biadjacency(x);
+  EXPECT_TRUE(is_bipartite(a));
+  EXPECT_EQ(a.nnz(), 2 * x.nnz());
+  EXPECT_EQ(biadjacency_block(a, 2), x);
+}
+
+TEST(Biadjacency, RejectsInSideEdges) {
+  const auto k3 = gen::complete_graph(3);
+  EXPECT_THROW(biadjacency_block(k3, 1), domain_error);
+  // Edge entirely within the declared W side.
+  const auto a = from_undirected_edges(4, {{2, 3}});
+  EXPECT_THROW(biadjacency_block(a, 2), domain_error);
+}
+
+TEST(Biadjacency, CanonicalGeneratorsAreBlockOrdered) {
+  // complete_bipartite and crown build U-before-W adjacency by
+  // construction.
+  const auto kb = gen::complete_bipartite(3, 2);
+  EXPECT_EQ(biadjacency_block(kb, 3).nnz(), 6);
+  const auto cr = gen::crown_graph(4);
+  EXPECT_EQ(biadjacency_block(cr, 4).nnz(), 12);
+}
+
+} // namespace
+} // namespace kronlab::graph

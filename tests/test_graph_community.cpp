@@ -1,0 +1,86 @@
+// Tests for Def. 11 community statistics on bipartite graphs.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/community.hpp"
+
+namespace kronlab::graph {
+namespace {
+
+TEST(Community, IndicatorVector) {
+  BipartiteSubset s;
+  s.r = {0, 2};
+  s.t = {5};
+  const auto ind = s.indicator(6);
+  EXPECT_EQ(ind.data(), (std::vector<count_t>{1, 0, 1, 0, 0, 1}));
+  EXPECT_THROW(s.indicator(4), invalid_argument); // member out of range
+}
+
+TEST(Community, IndicatorRejectsDoubleListing) {
+  BipartiteSubset s;
+  s.r = {1};
+  s.t = {1};
+  EXPECT_THROW(s.indicator(3), invalid_argument);
+}
+
+TEST(Community, CompleteBipartiteCounts) {
+  // K_{3,4}: S = {u0,u1} ∪ {w0,w1,w2}: m_in = 2·3 = 6,
+  // m_out = edges from S to outside = u0,u1→w3 (2) + u2→w0..2 (3) = 5.
+  const auto a = gen::complete_bipartite(3, 4);
+  const auto part = two_color(a).value();
+  BipartiteSubset s;
+  s.r = {0, 1};
+  s.t = {3, 4, 5};
+  const auto st = community_stats(a, part, s);
+  EXPECT_EQ(st.m_in, 6);
+  EXPECT_EQ(st.m_out, 5);
+  EXPECT_DOUBLE_EQ(st.rho_in, 1.0);
+  // denom = |R||W| + |U||T| − 2|R||T| = 2·4 + 3·3 − 2·2·3 = 5.
+  EXPECT_DOUBLE_EQ(st.rho_out, 1.0);
+}
+
+TEST(Community, SideMembershipIsValidated) {
+  const auto a = gen::complete_bipartite(2, 2);
+  const auto part = two_color(a).value();
+  BipartiteSubset s;
+  s.r = {2}; // vertex 2 is on side W
+  EXPECT_THROW(community_stats(a, part, s), invalid_argument);
+}
+
+TEST(Community, AlgebraicEqualsCombinatorial) {
+  Rng rng(31);
+  const auto a = gen::random_bipartite(8, 10, 35, rng);
+  const auto part = two_color(a).value();
+  BipartiteSubset s;
+  s.r = {0, 1, 2};
+  s.t = {8, 9, 11, 13};
+  const auto ind = s.indicator(a.nrows());
+  // Brute-force counts.
+  count_t in_bf = 0, out_bf = 0;
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    for (const index_t j : a.row_cols(i)) {
+      if (i < j) {
+        const bool si = ind[i] == 1, sj = ind[j] == 1;
+        if (si && sj) ++in_bf;
+        if (si != sj) ++out_bf;
+      }
+    }
+  }
+  EXPECT_EQ(internal_edges(a, ind), in_bf);
+  EXPECT_EQ(external_edges(a, ind), out_bf);
+}
+
+TEST(Community, EmptySubsetIsZero) {
+  const auto a = gen::complete_bipartite(2, 3);
+  const auto part = two_color(a).value();
+  const BipartiteSubset s; // empty
+  const auto st = community_stats(a, part, s);
+  EXPECT_EQ(st.m_in, 0);
+  EXPECT_EQ(st.m_out, 0);
+  EXPECT_DOUBLE_EQ(st.rho_in, 0.0);
+}
+
+} // namespace
+} // namespace kronlab::graph

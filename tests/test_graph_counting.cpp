@@ -1,0 +1,152 @@
+// Tests for the direct triangle and butterfly counters on graphs with
+// known closed-form counts.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/graph/traversal.hpp"
+#include "kronlab/graph/triangles.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Triangles.
+
+TEST(Triangles, CompleteGraphClosedForm) {
+  // K_n has C(n,3) triangles; each vertex is in C(n-1,2).
+  const auto k5 = gen::complete_graph(5);
+  EXPECT_EQ(global_triangles(k5), 10);
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(vertex_triangles(k5)[i], 6);
+  }
+  // Every edge of K5 lies in n-2 = 3 triangles.
+  const auto et = edge_triangles(k5);
+  for (const count_t v : et.vals()) EXPECT_EQ(v, 3);
+}
+
+TEST(Triangles, BipartiteGraphsHaveNone) {
+  EXPECT_EQ(global_triangles(gen::complete_bipartite(4, 5)), 0);
+  EXPECT_EQ(global_triangles(gen::hypercube(4)), 0);
+  Rng rng(9);
+  EXPECT_EQ(global_triangles(gen::random_bipartite(10, 12, 40, rng)), 0);
+}
+
+TEST(Triangles, RejectSelfLoops) {
+  const auto a = from_undirected_edges(2, {{0, 0}, {0, 1}});
+  EXPECT_THROW(vertex_triangles(a), domain_error);
+  EXPECT_THROW(edge_triangles(a), domain_error);
+}
+
+// ---------------------------------------------------------------------------
+// Butterflies: closed-form families.
+
+TEST(Butterflies, CompleteBipartiteClosedForm) {
+  // K_{m,n} has C(m,2)·C(n,2) squares.
+  const auto k34 = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(global_butterflies(k34), 3 * 6);
+  // Each left vertex participates in C(m-1,1)... full count:
+  // squares through a left vertex u: choose partner u' (m-1), choose 2
+  // right vertices C(n,2).
+  const auto s = vertex_butterflies(k34);
+  for (index_t i = 0; i < 3; ++i) EXPECT_EQ(s[i], 2 * 6); // (3-1)·C(4,2)
+  for (index_t i = 3; i < 7; ++i) EXPECT_EQ(s[i], 3 * 3); // (4-1)·C(3,2)
+}
+
+TEST(Butterflies, CycleHasExactlyOneIFF4) {
+  EXPECT_EQ(global_butterflies(gen::cycle_graph(4)), 1);
+  EXPECT_EQ(global_butterflies(gen::cycle_graph(6)), 0);
+  EXPECT_EQ(global_butterflies(gen::cycle_graph(8)), 0);
+}
+
+TEST(Butterflies, HypercubeClosedForm) {
+  // Q_d has C(d,2)·2^(d-2) squares.
+  EXPECT_EQ(global_butterflies(gen::hypercube(3)), 3 * 2);
+  EXPECT_EQ(global_butterflies(gen::hypercube(4)), 6 * 4);
+}
+
+TEST(Butterflies, CrownGraphClosedForm) {
+  // Crown S_n^0 = K_{n,n} minus a perfect matching. Squares: pairs of left
+  // vertices {i,i'} with common neighborhood of size n-2 → C(n,2)·C(n-2,2).
+  const index_t n = 5;
+  const auto cr = gen::crown_graph(n);
+  EXPECT_EQ(global_butterflies(cr), (n * (n - 1) / 2) * 3); // C(3,2)=3 for n=5
+}
+
+TEST(Butterflies, TreesAreSquareFree) {
+  EXPECT_EQ(global_butterflies(gen::path_graph(10)), 0);
+  EXPECT_EQ(global_butterflies(gen::star_graph(10)), 0);
+  EXPECT_EQ(global_butterflies(gen::double_star(4, 5)), 0);
+}
+
+TEST(Butterflies, K4NonBipartite) {
+  // K4 contains 3 distinct 4-cycles; each vertex is in all 3, each edge in 2.
+  const auto k4 = gen::complete_graph(4);
+  EXPECT_EQ(global_butterflies(k4), 3);
+  const auto s = vertex_butterflies(k4);
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(s[i], 3);
+  const auto e = edge_butterflies(k4);
+  for (const count_t v : e.vals()) EXPECT_EQ(v, 2);
+}
+
+TEST(Butterflies, VertexEdgeGlobalConsistency) {
+  Rng rng(77);
+  const auto g = gen::random_bipartite(12, 14, 60, rng);
+  const auto s = vertex_butterflies(g);
+  const auto e = edge_butterflies(g);
+  const auto total = global_butterflies(g);
+  EXPECT_EQ(grb::reduce(s), 4 * total);
+  EXPECT_EQ(grb::reduce(e), 8 * total); // both directions of 4 edges
+  // s = ½ ◇ 1.
+  const auto rows = grb::reduce_rows(e);
+  for (index_t i = 0; i < g.nrows(); ++i) EXPECT_EQ(2 * s[i], rows[i]);
+}
+
+TEST(Butterflies, RejectSelfLoops) {
+  const auto a = from_undirected_edges(2, {{0, 0}, {0, 1}});
+  EXPECT_THROW(vertex_butterflies(a), domain_error);
+  EXPECT_THROW(edge_butterflies(a), domain_error);
+  EXPECT_THROW(global_butterflies(a), domain_error);
+}
+
+TEST(Butterflies, NaiveGuardsAgainstLargeInputs) {
+  Rng rng(5);
+  const auto big = gen::random_bipartite(100, 100, 300, rng);
+  EXPECT_THROW(global_butterflies_naive(big), invalid_argument);
+}
+
+TEST(Butterflies, BookGraphClosedForm) {
+  // B_n has exactly n squares, all through the spine edge.
+  for (const index_t n : {1, 3, 6}) {
+    const auto b = gen::book_graph(n);
+    EXPECT_EQ(global_butterflies(b), n);
+    // Spine edge (0,1) is in every square; page edges in exactly one.
+    const auto e = edge_butterflies(b);
+    EXPECT_EQ(e.at(0, 1), n);
+    EXPECT_EQ(e.at(0, 2), 1);
+  }
+}
+
+TEST(Butterflies, WheelClosedForm) {
+  // W_n with rim size n ≥ 5: every rim wedge a–c–b closes through the hub
+  // (hub-a-c-b-hub), giving exactly n squares; the rim itself contributes
+  // none once n > 4.
+  for (const index_t n : {5, 7, 9}) {
+    EXPECT_EQ(global_butterflies(gen::wheel_graph(n)), n) << "n=" << n;
+  }
+  EXPECT_FALSE(graph::is_bipartite(gen::wheel_graph(6)));
+  EXPECT_TRUE(graph::is_connected(gen::wheel_graph(6)));
+}
+
+TEST(Butterflies, GridClosedForm) {
+  // An r×c grid has (r-1)(c-1) unit squares and no other 4-cycles.
+  EXPECT_EQ(global_butterflies(gen::grid_graph(3, 5)), 2 * 4);
+  EXPECT_EQ(global_butterflies(gen::grid_graph(4, 4)), 9);
+}
+
+} // namespace
+} // namespace kronlab::graph

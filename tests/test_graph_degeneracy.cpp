@@ -1,0 +1,82 @@
+// Tests for degeneracy ordering and k-core decomposition.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/degeneracy.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::graph {
+namespace {
+
+TEST(Degeneracy, ClosedForms) {
+  EXPECT_EQ(degeneracy(gen::path_graph(8)), 1);
+  EXPECT_EQ(degeneracy(gen::star_graph(9)), 1);
+  EXPECT_EQ(degeneracy(gen::cycle_graph(7)), 2);
+  EXPECT_EQ(degeneracy(gen::complete_graph(6)), 5);
+  EXPECT_EQ(degeneracy(gen::complete_bipartite(3, 7)), 3);
+  EXPECT_EQ(degeneracy(gen::grid_graph(5, 5)), 2);
+  EXPECT_EQ(degeneracy(gen::hypercube(4)), 4);
+  EXPECT_EQ(degeneracy(gen::crown_graph(5)), 4);
+}
+
+TEST(Degeneracy, EmptyAndSingleton) {
+  EXPECT_EQ(degeneracy(gen::path_graph(1)), 0);
+  EXPECT_EQ(degeneracy(Adjacency()), 0);
+}
+
+TEST(CoreNumbers, StarAndTriangleTail) {
+  const auto d = core_decomposition(gen::triangle_with_tail(3));
+  // Triangle vertices are 2-core; tail vertices 1-core.
+  EXPECT_EQ(d.core[0], 2);
+  EXPECT_EQ(d.core[1], 2);
+  EXPECT_EQ(d.core[2], 2);
+  EXPECT_EQ(d.core[4], 1);
+  EXPECT_EQ(d.degeneracy, 2);
+}
+
+TEST(CoreNumbers, DefinitionHolds) {
+  // Every vertex of the k-core subgraph has >= k neighbors inside it.
+  Rng rng(15);
+  const auto g = gen::preferential_bipartite(20, 20, 90, rng);
+  const auto d = core_decomposition(g);
+  for (count_t k = 1; k <= d.degeneracy; ++k) {
+    for (index_t v = 0; v < g.nrows(); ++v) {
+      if (d.core[static_cast<std::size_t>(v)] < k) continue;
+      count_t inside = 0;
+      for (const index_t u : g.row_cols(v)) {
+        inside += (d.core[static_cast<std::size_t>(u)] >= k);
+      }
+      EXPECT_GE(inside, k) << "vertex " << v << " at k=" << k;
+    }
+  }
+}
+
+TEST(Degeneracy, OrderingWitnessesDegeneracy) {
+  // In peel order, each vertex has at most δ later-ordered neighbors.
+  Rng rng(16);
+  const auto g = gen::random_bipartite(15, 15, 70, rng);
+  const auto d = core_decomposition(g);
+  ASSERT_EQ(d.order.size(), static_cast<std::size_t>(g.nrows()));
+  std::vector<index_t> pos(static_cast<std::size_t>(g.nrows()));
+  for (std::size_t i = 0; i < d.order.size(); ++i) {
+    pos[static_cast<std::size_t>(d.order[i])] = static_cast<index_t>(i);
+  }
+  for (index_t v = 0; v < g.nrows(); ++v) {
+    count_t later = 0;
+    for (const index_t u : g.row_cols(v)) {
+      later += (pos[static_cast<std::size_t>(u)] >
+                pos[static_cast<std::size_t>(v)]);
+    }
+    EXPECT_LE(later, d.degeneracy);
+  }
+}
+
+TEST(Degeneracy, RejectsSelfLoops) {
+  const auto looped = grb::add_identity(gen::path_graph(3));
+  EXPECT_THROW(core_decomposition(looped), domain_error);
+}
+
+} // namespace
+} // namespace kronlab::graph

@@ -1,0 +1,130 @@
+// Tests for the tip (vertex-peeling) decomposition.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/graph/tip.hpp"
+
+namespace kronlab::graph {
+namespace {
+
+Bipartition coloring(const Adjacency& a) { return two_color(a).value(); }
+
+TEST(Tip, TreesAreZeroTip) {
+  const auto a = gen::double_star(3, 3);
+  const auto part = coloring(a);
+  for (int side = 0; side < 2; ++side) {
+    const auto d = tip_decomposition(a, part, side);
+    EXPECT_EQ(d.max_tip, 0);
+  }
+}
+
+TEST(Tip, CompleteBipartiteUniform) {
+  // In K_{m,n}, peeling side U: every U vertex sits in (m−1)·C(n,2)
+  // butterflies and symmetry forbids earlier peeling.
+  const auto a = gen::complete_bipartite(3, 4);
+  const auto part = coloring(a);
+  const auto d = tip_decomposition(a, part, 0);
+  EXPECT_EQ(d.max_tip, 2 * 6);
+  for (index_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(d.tip[static_cast<std::size_t>(v)], 12);
+  }
+  // W side untouched.
+  for (index_t v = 3; v < 7; ++v) {
+    EXPECT_FALSE(d.peeled_side[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(d.tip[static_cast<std::size_t>(v)], 0);
+  }
+}
+
+TEST(Tip, C4BothSides) {
+  const auto a = gen::cycle_graph(4);
+  const auto part = coloring(a);
+  for (int side = 0; side < 2; ++side) {
+    const auto d = tip_decomposition(a, part, side);
+    EXPECT_EQ(d.max_tip, 1);
+  }
+}
+
+TEST(Tip, TipBoundedBySupport) {
+  Rng rng(91);
+  const auto a = gen::random_bipartite(8, 9, 32, rng);
+  const auto part = coloring(a);
+  const auto s = vertex_butterflies(a);
+  for (int side = 0; side < 2; ++side) {
+    const auto d = tip_decomposition(a, part, side);
+    for (index_t v = 0; v < a.nrows(); ++v) {
+      if (d.peeled_side[static_cast<std::size_t>(v)]) {
+        EXPECT_LE(d.tip[static_cast<std::size_t>(v)], s[v]);
+      }
+    }
+  }
+}
+
+TEST(Tip, KTipSatisfiesDefinition) {
+  Rng rng(92);
+  const auto a = gen::random_bipartite(7, 8, 28, rng);
+  const auto part = coloring(a);
+  const auto d = tip_decomposition(a, part, 0);
+  for (count_t k = 1; k <= d.max_tip; ++k) {
+    // Build the k-tip: side-0 vertices with tip >= k plus all of side 1.
+    std::vector<std::pair<index_t, index_t>> edges;
+    for (index_t i = 0; i < a.nrows(); ++i) {
+      if (d.peeled_side[static_cast<std::size_t>(i)] &&
+          d.tip[static_cast<std::size_t>(i)] < k) {
+        continue;
+      }
+      for (const index_t j : a.row_cols(i)) {
+        if (i >= j) continue;
+        if (d.peeled_side[static_cast<std::size_t>(j)] &&
+            d.tip[static_cast<std::size_t>(j)] < k) {
+          continue;
+        }
+        edges.emplace_back(i, j);
+      }
+    }
+    const auto sub = from_undirected_edges(a.nrows(), edges);
+    const auto s = vertex_butterflies(sub);
+    for (index_t v = 0; v < a.nrows(); ++v) {
+      if (d.peeled_side[static_cast<std::size_t>(v)] &&
+          d.tip[static_cast<std::size_t>(v)] >= k) {
+        EXPECT_GE(s[v], k) << "vertex " << v << " at k=" << k;
+      }
+    }
+  }
+}
+
+class TipOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TipOracleTest, PeelingMatchesNaiveFixpoint) {
+  Rng rng(700 + static_cast<std::uint64_t>(GetParam()));
+  const auto a = gen::random_bipartite(6, 6, 9 + 2 * GetParam(), rng);
+  const auto part = coloring(a);
+  for (int side = 0; side < 2; ++side) {
+    const auto fast = tip_decomposition(a, part, side);
+    const auto slow = tip_decomposition_naive(a, part, side);
+    EXPECT_EQ(fast.tip, slow.tip) << "side " << side;
+    EXPECT_EQ(fast.max_tip, slow.max_tip);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TipOracleTest, ::testing::Range(0, 10));
+
+TEST(Tip, ValidatesInputs) {
+  const auto a = gen::complete_bipartite(2, 2);
+  const auto part = coloring(a);
+  EXPECT_THROW(tip_decomposition(a, part, 2), invalid_argument);
+  EXPECT_THROW(tip_decomposition(gen::complete_graph(3),
+                                 Bipartition{{0, 1, 0}}, 0),
+               domain_error);
+  // Wrong-size bipartition.
+  EXPECT_THROW(tip_decomposition(a, Bipartition{{0, 1}}, 0),
+               invalid_argument);
+  // Coloring that isn't a proper 2-coloring: edge (0,2) is monochrome.
+  EXPECT_THROW(tip_decomposition(a, Bipartition{{0, 1, 0, 1}}, 0),
+               invalid_argument);
+}
+
+} // namespace
+} // namespace kronlab::graph

@@ -1,0 +1,84 @@
+// Tests for BFS, connected components, eccentricity and diameter.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/graph/eccentricity.hpp"
+#include "kronlab/graph/traversal.hpp"
+
+namespace kronlab::graph {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const auto p5 = gen::path_graph(5);
+  const auto d = bfs_distances(p5, 0);
+  EXPECT_EQ(d, (std::vector<index_t>{0, 1, 2, 3, 4}));
+  const auto d2 = bfs_distances(p5, 2);
+  EXPECT_EQ(d2, (std::vector<index_t>{2, 1, 0, 1, 2}));
+}
+
+TEST(Bfs, UnreachableVerticesMarked) {
+  const auto g =
+      gen::disjoint_union(gen::path_graph(2), gen::path_graph(2));
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], unreachable);
+  EXPECT_EQ(d[3], unreachable);
+}
+
+TEST(Bfs, RejectsBadSource) {
+  const auto p = gen::path_graph(3);
+  EXPECT_THROW(bfs_distances(p, 3), invalid_argument);
+  EXPECT_THROW(bfs_distances(p, -1), invalid_argument);
+}
+
+TEST(Components, CountsAndLabels) {
+  const auto g = gen::disjoint_union(
+      gen::cycle_graph(4), gen::disjoint_union(gen::path_graph(3),
+                                               gen::path_graph(1)));
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 3);
+  const auto sizes = c.sizes();
+  EXPECT_EQ(sizes, (std::vector<index_t>{4, 3, 1}));
+  // Vertices in the same block share labels.
+  EXPECT_EQ(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[0], c.label[4]);
+}
+
+TEST(Components, ConnectedPredicates) {
+  EXPECT_TRUE(is_connected(gen::cycle_graph(5)));
+  EXPECT_FALSE(is_connected(
+      gen::disjoint_union(gen::path_graph(2), gen::path_graph(2))));
+  EXPECT_TRUE(is_connected(Adjacency())); // empty graph
+  EXPECT_TRUE(is_connected(gen::path_graph(1)));
+}
+
+TEST(Eccentricity, PathValues) {
+  const auto p5 = gen::path_graph(5);
+  EXPECT_EQ(eccentricities(p5),
+            (std::vector<index_t>{4, 3, 2, 3, 4}));
+  EXPECT_EQ(diameter(p5), 4);
+  EXPECT_EQ(radius(p5), 2);
+}
+
+TEST(Eccentricity, CycleIsVertexTransitive) {
+  const auto c6 = gen::cycle_graph(6);
+  for (const index_t e : eccentricities(c6)) EXPECT_EQ(e, 3);
+  EXPECT_EQ(diameter(c6), 3);
+  EXPECT_EQ(radius(c6), 3);
+}
+
+TEST(Eccentricity, ThrowsOnDisconnected) {
+  const auto g =
+      gen::disjoint_union(gen::path_graph(2), gen::path_graph(2));
+  EXPECT_THROW(eccentricities(g), domain_error);
+  EXPECT_THROW(diameter(g), domain_error);
+}
+
+TEST(Eccentricity, HypercubeDiameterIsDimension) {
+  EXPECT_EQ(diameter(gen::hypercube(4)), 4);
+  EXPECT_EQ(radius(gen::hypercube(4)), 4);
+}
+
+} // namespace
+} // namespace kronlab::graph

@@ -1,0 +1,122 @@
+// Tests for the k-wing (bitruss) decomposition.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/graph/wing.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/product.hpp"
+
+namespace kronlab::graph {
+namespace {
+
+TEST(Wing, TreesAreZeroWing) {
+  const auto d = wing_decomposition(gen::star_graph(5));
+  EXPECT_EQ(d.max_wing, 0);
+  for (const count_t w : d.wing.vals()) EXPECT_EQ(w, 0);
+}
+
+TEST(Wing, C4IsOneWing) {
+  const auto d = wing_decomposition(gen::cycle_graph(4));
+  EXPECT_EQ(d.max_wing, 1);
+  for (const count_t w : d.wing.vals()) EXPECT_EQ(w, 1);
+}
+
+TEST(Wing, LongEvenCyclesAreZeroWing) {
+  const auto d = wing_decomposition(gen::cycle_graph(8));
+  EXPECT_EQ(d.max_wing, 0);
+}
+
+TEST(Wing, CompleteBipartiteUniformWing) {
+  // K_{m,n} is edge-transitive: every edge has wing number
+  // (m−1)(n−1) — its butterfly count, since nothing can be peeled first.
+  const auto d = wing_decomposition(gen::complete_bipartite(3, 4));
+  EXPECT_EQ(d.max_wing, 2 * 3);
+  for (const count_t w : d.wing.vals()) EXPECT_EQ(w, 6);
+}
+
+TEST(Wing, HierarchyIsMonotone) {
+  // k-wing edge sets are nested.
+  Rng rng(55);
+  const auto g = gen::random_bipartite(8, 8, 30, rng);
+  const auto d = wing_decomposition(g);
+  for (count_t k = 1; k <= d.max_wing; ++k) {
+    const auto upper = d.wing_edges(k);
+    const auto lower = d.wing_edges(k - 1);
+    EXPECT_LE(upper.size(), lower.size());
+    for (const auto& e : upper) {
+      EXPECT_NE(std::find(lower.begin(), lower.end(), e), lower.end());
+    }
+  }
+}
+
+TEST(Wing, WingNumberNeverExceedsSupport) {
+  Rng rng(56);
+  const auto g = gen::random_bipartite(9, 9, 35, rng);
+  const auto d = wing_decomposition(g);
+  const auto sq = edge_butterflies(g);
+  for (index_t i = 0; i < g.nrows(); ++i) {
+    const auto cols = d.wing.row_cols(i);
+    const auto wv = d.wing.row_vals(i);
+    const auto sv = sq.row_vals(i);
+    for (std::size_t e = 0; e < cols.size(); ++e) {
+      EXPECT_LE(wv[e], sv[e]);
+    }
+  }
+}
+
+TEST(Wing, KWingSubgraphSatisfiesDefinition) {
+  // Every edge of the k-wing has ≥ k butterflies inside the k-wing.
+  Rng rng(57);
+  const auto g = gen::random_bipartite(8, 10, 36, rng);
+  const auto d = wing_decomposition(g);
+  for (count_t k = 1; k <= d.max_wing; ++k) {
+    const auto edges = d.wing_edges(k);
+    if (edges.empty()) continue;
+    const auto sub = from_undirected_edges(g.nrows(), edges);
+    const auto sq = edge_butterflies(sub);
+    for (const auto& [i, j] : edges) {
+      EXPECT_GE(sq.at(i, j), k) << "edge (" << i << "," << j << ") at k="
+                                << k;
+    }
+  }
+}
+
+class WingOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WingOracleTest, PeelingMatchesNaiveFixpoint) {
+  Rng rng(600 + static_cast<std::uint64_t>(GetParam()));
+  const auto g = gen::random_bipartite(6, 7, 10 + 2 * GetParam(), rng);
+  const auto fast = wing_decomposition(g);
+  const auto slow = wing_decomposition_naive(g);
+  EXPECT_EQ(fast.wing, slow.wing);
+  EXPECT_EQ(fast.max_wing, slow.max_wing);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WingOracleTest, ::testing::Range(0, 10));
+
+TEST(Wing, RejectsNonBipartiteAndLoops) {
+  EXPECT_THROW(wing_decomposition(gen::complete_graph(3)), domain_error);
+  const auto looped = grb::add_identity(gen::path_graph(3));
+  EXPECT_THROW(wing_decomposition(looped), domain_error);
+}
+
+TEST(Wing, PaperObservationProductsHaveNoCleanWingPlant) {
+  // §I/§III-B: products acquire butterflies everywhere, so even when the
+  // factors are square-free (wing number 0 on every edge), the product's
+  // wing decomposition is non-trivial — one cannot plant wing ground
+  // truth through the factors.
+  const auto a = gen::double_star(2, 2);
+  const auto b = gen::double_star(2, 2);
+  ASSERT_EQ(wing_decomposition(a).max_wing, 0);
+  const auto kp = kron::BipartiteKronecker::raw(a, b);
+  const auto d = wing_decomposition(kp.materialize());
+  EXPECT_GT(d.max_wing, 0);
+}
+
+} // namespace
+} // namespace kronlab::graph

@@ -1,0 +1,86 @@
+// Tests for the binary CSR format (factor persistence).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/gen/unicode_like.hpp"
+#include "kronlab/grb/binary_io.hpp"
+
+namespace kronlab::grb {
+namespace {
+
+TEST(BinaryIo, RoundTripsRandomFactor) {
+  Rng rng(3);
+  const auto a = gen::random_bipartite(9, 11, 40, rng);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, a);
+  EXPECT_EQ(read_binary(buf), a);
+}
+
+TEST(BinaryIo, RoundTripsEmptyAndCanonical) {
+  {
+    const Csr<count_t> empty;
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    write_binary(buf, empty);
+    EXPECT_EQ(read_binary(buf), empty);
+  }
+  {
+    const auto u = gen::unicode_like();
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    write_binary(buf, u);
+    EXPECT_EQ(read_binary(buf), u);
+  }
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const std::string path = "/tmp/kronlab_test_binary.krn";
+  Rng rng(4);
+  const auto a = gen::preferential_bipartite(8, 8, 20, rng);
+  write_binary_file(path, a);
+  EXPECT_EQ(read_binary_file(path), a);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << "NOTACSR1xxxxxxxxxxxxxxxx";
+  EXPECT_THROW(read_binary(buf), io_error);
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  Rng rng(5);
+  const auto a = gen::random_bipartite(5, 5, 12, rng);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, a);
+  std::string data = buf.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << data;
+  EXPECT_THROW(read_binary(cut), io_error);
+}
+
+TEST(BinaryIo, RejectsCorruptStructure) {
+  Rng rng(6);
+  const auto a = gen::random_bipartite(4, 4, 8, rng);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, a);
+  std::string data = buf.str();
+  // Smash the high byte of col_idx[0] (offset: magic 8 + header 24 +
+  // row_ptr (nrows+1)·8) so the column lands far out of range.
+  const std::size_t col0 =
+      8 + 24 + static_cast<std::size_t>(a.nrows() + 1) * 8;
+  data[col0 + 7] = '\x7f';
+  std::stringstream bad(std::ios::in | std::ios::out | std::ios::binary);
+  bad << data;
+  EXPECT_THROW(read_binary(bad), io_error);
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(read_binary_file("/nonexistent/factor.krn"), io_error);
+}
+
+} // namespace
+} // namespace kronlab::grb

@@ -1,0 +1,135 @@
+// Tests for MatrixMarket and bipartite edge-list I/O, including malformed
+// inputs (failure injection).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kronlab/grb/io.hpp"
+#include "kronlab/grb/ops.hpp"
+
+namespace kronlab::grb {
+namespace {
+
+TEST(MatrixMarket, ReadsGeneralInteger) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2 5\n"
+      "3 1 7\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.nrows(), 3);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_EQ(a.at(0, 1), 5);
+  EXPECT_EQ(a.at(2, 0), 7);
+}
+
+TEST(MatrixMarket, ReadsSymmetricPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.at(1, 0), 1);
+  EXPECT_EQ(a.at(0, 1), 1); // mirrored
+  EXPECT_EQ(a.at(2, 2), 1); // diagonal not doubled
+  EXPECT_EQ(a.nnz(), 3);
+}
+
+TEST(MatrixMarket, RoundTripsThroughWrite) {
+  Coo<count_t> coo(3, 4);
+  coo.push(0, 3, 2);
+  coo.push(2, 1, -5);
+  const auto a = Csr<count_t>::from_coo(coo);
+  std::ostringstream out;
+  write_matrix_market(out, a);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_matrix_market(in), a);
+}
+
+TEST(MatrixMarket, RejectsMalformedInputs) {
+  {
+    std::istringstream in("not a matrix\n1 1 0\n");
+    EXPECT_THROW(read_matrix_market(in), io_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix array real general\n1 1\n1.0\n");
+    EXPECT_THROW(read_matrix_market(in), io_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 2 1\n"
+        "3 1 1\n"); // out of range
+    EXPECT_THROW(read_matrix_market(in), io_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 2 2\n"
+        "1 1 1\n"); // truncated
+    EXPECT_THROW(read_matrix_market(in), io_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate complex hermitian\n"
+        "1 1 0\n");
+    EXPECT_THROW(read_matrix_market(in), io_error);
+  }
+}
+
+TEST(EdgeList, ReadsKonectStyle) {
+  std::istringstream in(
+      "% bip comment\n"
+      "# another comment\n"
+      "1 2\n"
+      "3 1 4.5 1234567\n" // weight + timestamp columns ignored
+      "2 2\n");
+  const auto el = read_bipartite_edge_list(in);
+  EXPECT_EQ(el.n_left, 3);
+  EXPECT_EQ(el.n_right, 2);
+  ASSERT_EQ(el.edges.size(), 3u);
+  EXPECT_EQ(el.edges[0], (std::pair<index_t, index_t>{0, 1}));
+  EXPECT_EQ(el.edges[1], (std::pair<index_t, index_t>{2, 0}));
+}
+
+TEST(EdgeList, RejectsMalformedLines) {
+  {
+    std::istringstream in("1\n");
+    EXPECT_THROW(read_bipartite_edge_list(in), io_error);
+  }
+  {
+    std::istringstream in("0 1\n"); // 1-based required
+    EXPECT_THROW(read_bipartite_edge_list(in), io_error);
+  }
+  {
+    std::istringstream in("a b\n");
+    EXPECT_THROW(read_bipartite_edge_list(in), io_error);
+  }
+}
+
+TEST(EdgeList, RoundTripsThroughWrite) {
+  BipartiteEdgeList el;
+  el.n_left = 3;
+  el.n_right = 4;
+  el.edges = {{0, 3}, {2, 1}};
+  std::ostringstream out;
+  write_bipartite_edge_list(out, el);
+  std::istringstream in(out.str());
+  const auto back = read_bipartite_edge_list(in);
+  EXPECT_EQ(back.edges, el.edges);
+  EXPECT_EQ(back.n_left, 3);
+  EXPECT_EQ(back.n_right, 4);
+}
+
+TEST(Files, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"), io_error);
+  EXPECT_THROW(read_bipartite_edge_list_file("/nonexistent/out.x"),
+               io_error);
+}
+
+} // namespace
+} // namespace kronlab::grb

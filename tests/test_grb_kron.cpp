@@ -1,0 +1,102 @@
+// Tests for the sparse Kronecker product kernel and its algebraic
+// properties (Prop. 1 of the paper's appendix).
+
+#include <gtest/gtest.h>
+
+#include "kronlab/grb/kron.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/index_map.hpp"
+
+namespace kronlab::grb {
+namespace {
+
+Csr<count_t> dense2(const std::vector<count_t>& v) {
+  return Csr<count_t>::from_dense(2, 2, v);
+}
+
+TEST(Kron, MatchesDefinitionEntrywise) {
+  const auto a = Csr<count_t>::from_dense(2, 3, {1, 2, 0, 0, 3, 4});
+  const auto b = Csr<count_t>::from_dense(3, 2, {5, 0, 6, 7, 0, 8});
+  const auto c = kron(a, b);
+  ASSERT_EQ(c.nrows(), 6);
+  ASSERT_EQ(c.ncols(), 6);
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    for (index_t j = 0; j < a.ncols(); ++j) {
+      for (index_t k = 0; k < b.nrows(); ++k) {
+        for (index_t l = 0; l < b.ncols(); ++l) {
+          EXPECT_EQ(c.at(kron::gamma(i, k, b.nrows()),
+                         kron::gamma(j, l, b.ncols())),
+                    a.at(i, j) * b.at(k, l));
+        }
+      }
+    }
+  }
+  c.check_invariants();
+}
+
+TEST(Kron, NnzIsProductOfNnz) {
+  const auto a = dense2({1, 1, 0, 1});
+  const auto b = dense2({0, 2, 2, 0});
+  EXPECT_EQ(kron(a, b).nnz(), a.nnz() * b.nnz());
+}
+
+TEST(Kron, IdentityIsNeutralUpToShape) {
+  const auto a = dense2({1, 2, 3, 4});
+  const auto i1 = Csr<count_t>::identity(1);
+  EXPECT_EQ(kron(i1, a), a);
+  EXPECT_EQ(kron(a, i1), a);
+}
+
+TEST(Kron, MixedProductProperty) {
+  // (A1 ⊗ A2)(A3 ⊗ A4) = (A1·A3) ⊗ (A2·A4)  — Prop. 1(d).
+  const auto a1 = dense2({1, 2, 0, 1});
+  const auto a2 = dense2({0, 1, 1, 1});
+  const auto a3 = dense2({2, 0, 1, 1});
+  const auto a4 = dense2({1, 1, 0, 2});
+  EXPECT_EQ(mxm(kron(a1, a2), kron(a3, a4)),
+            kron(mxm(a1, a3), mxm(a2, a4)));
+}
+
+TEST(Kron, TranspositionProperty) {
+  // (A ⊗ B)ᵗ = Aᵗ ⊗ Bᵗ — Prop. 1(c).
+  const auto a = Csr<count_t>::from_dense(2, 3, {1, 0, 2, 3, 0, 0});
+  const auto b = dense2({0, 5, 6, 0});
+  EXPECT_EQ(transpose(kron(a, b)), kron(transpose(a), transpose(b)));
+}
+
+TEST(Kron, DistributivityOverAddition) {
+  // (A1 + A2) ⊗ A3 = A1⊗A3 + A2⊗A3 — Prop. 1(b).
+  const auto a1 = dense2({1, 0, 0, 2});
+  const auto a2 = dense2({0, 3, 4, 0});
+  const auto a3 = dense2({1, 1, 1, 0});
+  EXPECT_EQ(kron(ewise_add(a1, a2), a3),
+            ewise_add(kron(a1, a3), kron(a2, a3)));
+}
+
+TEST(Kron, HadamardKroneckerDistributivity) {
+  // (A1⊗A2) ∘ (A3⊗A4) = (A1∘A3) ⊗ (A2∘A4) — Prop. 2(e).
+  const auto a1 = dense2({1, 2, 3, 0});
+  const auto a2 = dense2({0, 1, 1, 1});
+  const auto a3 = dense2({1, 0, 3, 4});
+  const auto a4 = dense2({2, 1, 0, 1});
+  EXPECT_EQ(ewise_mult(kron(a1, a2), kron(a3, a4)),
+            kron(ewise_mult(a1, a3), ewise_mult(a2, a4)));
+}
+
+TEST(Kron, DiagonalKroneckerDistributivity) {
+  // diag(A1 ⊗ A2) = diag(A1) ⊗ diag(A2) — Prop. 2(f).
+  const auto a1 = dense2({3, 1, 0, 5});
+  const auto a2 = dense2({2, 0, 1, 7});
+  EXPECT_EQ(diag_vector(kron(a1, a2)).data(),
+            kron(diag_vector(a1), diag_vector(a2)).data());
+}
+
+TEST(Kron, EmptyFactorGivesEmptyProduct) {
+  const Csr<count_t> empty(2, 2, {0, 0, 0}, {}, {});
+  const auto a = dense2({1, 1, 1, 1});
+  EXPECT_EQ(kron(empty, a).nnz(), 0);
+  EXPECT_EQ(kron(a, empty).nnz(), 0);
+}
+
+} // namespace
+} // namespace kronlab::grb

@@ -1,0 +1,125 @@
+// Tests for grb::Coo / grb::Csr construction, invariants, and accessors.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/grb/coo.hpp"
+#include "kronlab/grb/csr.hpp"
+
+namespace kronlab::grb {
+namespace {
+
+TEST(Coo, PushValidatesRange) {
+  Coo<count_t> coo(2, 3);
+  EXPECT_NO_THROW(coo.push(1, 2, 5));
+  EXPECT_THROW(coo.push(2, 0, 1), invalid_argument);
+  EXPECT_THROW(coo.push(0, 3, 1), invalid_argument);
+  EXPECT_THROW(coo.push(-1, 0, 1), invalid_argument);
+}
+
+TEST(Coo, PushSymmetricAddsBothDirections) {
+  Coo<count_t> coo(3, 3);
+  coo.push_symmetric(0, 1, 1);
+  coo.push_symmetric(2, 2, 1); // loop added once
+  EXPECT_EQ(coo.nnz(), 3);
+}
+
+TEST(Csr, FromCooSortsAndCombines) {
+  Coo<count_t> coo(3, 3);
+  coo.push(1, 2, 5);
+  coo.push(0, 1, 1);
+  coo.push(1, 2, 7); // duplicate → summed
+  coo.push(1, 0, 2);
+  const auto a = Csr<count_t>::from_coo(coo);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_EQ(a.at(1, 2), 12);
+  EXPECT_EQ(a.at(0, 1), 1);
+  EXPECT_EQ(a.at(1, 0), 2);
+  EXPECT_EQ(a.at(2, 2), 0);
+  a.check_invariants();
+}
+
+TEST(Csr, FromCooDropsExactZeroSums) {
+  Coo<count_t> coo(2, 2);
+  coo.push(0, 0, 3);
+  coo.push(0, 0, -3);
+  coo.push(1, 1, 1);
+  const auto a = Csr<count_t>::from_coo(coo);
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_FALSE(a.has(0, 0));
+  EXPECT_TRUE(a.has(1, 1));
+}
+
+TEST(Csr, IdentityHasUnitDiagonal) {
+  const auto i3 = Csr<count_t>::identity(3);
+  EXPECT_EQ(i3.nnz(), 3);
+  for (index_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(i3.at(i, i), 1);
+    EXPECT_EQ(i3.row_degree(i), 1);
+  }
+  EXPECT_EQ(i3.at(0, 1), 0);
+}
+
+TEST(Csr, FromDenseRoundTrip) {
+  const std::vector<count_t> dense{0, 1, 2, 0, 0, 3};
+  const auto a = Csr<count_t>::from_dense(2, 3, dense);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_EQ(a.to_dense(), dense);
+}
+
+TEST(Csr, FromDenseRejectsBadSize) {
+  EXPECT_THROW(Csr<count_t>::from_dense(2, 2, {1, 2, 3}),
+               invalid_argument);
+}
+
+TEST(Csr, RowSpansMatchStructure) {
+  Coo<count_t> coo(3, 4);
+  coo.push(1, 3, 9);
+  coo.push(1, 0, 8);
+  const auto a = Csr<count_t>::from_coo(coo);
+  EXPECT_EQ(a.row_degree(0), 0);
+  EXPECT_EQ(a.row_degree(1), 2);
+  const auto cols = a.row_cols(1);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 3);
+  const auto vals = a.row_vals(1);
+  EXPECT_EQ(vals[0], 8);
+  EXPECT_EQ(vals[1], 9);
+}
+
+TEST(Csr, AdoptingRawArraysValidates) {
+  // Unsorted columns within a row must be rejected.
+  EXPECT_THROW(Csr<count_t>(1, 3, {0, 2}, {2, 1}, {1, 1}),
+               invalid_argument);
+  // row_ptr not ending at nnz.
+  EXPECT_THROW(Csr<count_t>(1, 3, {0, 1}, {0, 1}, {1, 1}),
+               invalid_argument);
+  // Column out of range.
+  EXPECT_THROW(Csr<count_t>(1, 2, {0, 1}, {5}, {1}), invalid_argument);
+  // Duplicate column in a row.
+  EXPECT_THROW(Csr<count_t>(1, 3, {0, 2}, {1, 1}, {1, 1}),
+               invalid_argument);
+  // A valid adoption passes.
+  EXPECT_NO_THROW(Csr<count_t>(2, 2, {0, 1, 2}, {1, 0}, {1, 1}));
+}
+
+TEST(Csr, EmptyMatrixBehaves) {
+  const Csr<count_t> a;
+  EXPECT_EQ(a.nrows(), 0);
+  EXPECT_EQ(a.ncols(), 0);
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Csr, EqualityIsStructuralAndValued) {
+  Coo<count_t> coo(2, 2);
+  coo.push(0, 1, 1);
+  const auto a = Csr<count_t>::from_coo(coo);
+  auto b = a;
+  EXPECT_EQ(a, b);
+  b.vals()[0] = 2;
+  EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace kronlab::grb

@@ -1,0 +1,68 @@
+// Tests for grb::Vector and its element-wise algebra.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/grb/vector.hpp"
+
+namespace kronlab::grb {
+namespace {
+
+TEST(Vector, ConstructionAndFill) {
+  const Vector<count_t> v(4, 7);
+  EXPECT_EQ(v.size(), 4);
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 7);
+  EXPECT_THROW(Vector<count_t>(-1), invalid_argument);
+}
+
+TEST(Vector, OnesZerosCardinal) {
+  EXPECT_EQ(reduce(ones<count_t>(5)), 5);
+  EXPECT_EQ(reduce(zeros<count_t>(5)), 0);
+  const auto e2 = cardinal<count_t>(4, 2);
+  EXPECT_EQ(e2[2], 1);
+  EXPECT_EQ(reduce(e2), 1);
+  EXPECT_THROW(cardinal<count_t>(3, 3), invalid_argument);
+}
+
+TEST(Vector, ElementwiseAlgebra) {
+  const Vector<count_t> a(std::vector<count_t>{1, 2, 3});
+  const Vector<count_t> b(std::vector<count_t>{4, 5, 6});
+  EXPECT_EQ(ewise_add(a, b).data(), (std::vector<count_t>{5, 7, 9}));
+  EXPECT_EQ(ewise_sub(b, a).data(), (std::vector<count_t>{3, 3, 3}));
+  EXPECT_EQ(ewise_mult(a, b).data(), (std::vector<count_t>{4, 10, 18}));
+  EXPECT_EQ(scale(a, count_t{3}).data(), (std::vector<count_t>{3, 6, 9}));
+  EXPECT_EQ(shift(a, count_t{1}).data(), (std::vector<count_t>{2, 3, 4}));
+  EXPECT_EQ(dot(a, b), 32);
+}
+
+TEST(Vector, ShapeMismatchThrows) {
+  const Vector<count_t> a(2), b(3);
+  EXPECT_THROW(ewise_add(a, b), invalid_argument);
+  EXPECT_THROW(ewise_mult(a, b), invalid_argument);
+  EXPECT_THROW(dot(a, b), invalid_argument);
+}
+
+TEST(Vector, KroneckerProductLayout) {
+  const Vector<count_t> a(std::vector<count_t>{2, 3});
+  const Vector<count_t> b(std::vector<count_t>{5, 7, 11});
+  const auto k = kron(a, b);
+  // (a ⊗ b)[i·|b| + j] = a[i]·b[j] — the γ index map.
+  EXPECT_EQ(k.data(),
+            (std::vector<count_t>{10, 14, 22, 15, 21, 33}));
+}
+
+TEST(Vector, KroneckerReduceFactorizes) {
+  const Vector<count_t> a(std::vector<count_t>{1, 2, 3});
+  const Vector<count_t> b(std::vector<count_t>{4, 5});
+  EXPECT_EQ(reduce(kron(a, b)), reduce(a) * reduce(b));
+}
+
+TEST(Vector, EqualityAndMutation) {
+  Vector<count_t> a(3, 1);
+  Vector<count_t> b(3, 1);
+  EXPECT_EQ(a, b);
+  a[1] = 9;
+  EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace kronlab::grb

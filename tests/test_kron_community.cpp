@@ -1,0 +1,135 @@
+// Tests for §III-C: Def. 12 product subsets, Thm 7 exact edge counts, and
+// the Cor. 1 / Cor. 2 density scaling laws.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/kron/community.hpp"
+
+namespace kronlab::kron {
+namespace {
+
+// Build a FactorCommunity over the first r left and first t right vertices
+// of a bipartite block-ordered adjacency.
+FactorCommunity prefix_community(const Adjacency& a, index_t n_u, index_t r,
+                                 index_t t) {
+  const auto part = graph::two_color(a).value();
+  graph::BipartiteSubset s;
+  for (index_t i = 0; i < r; ++i) s.r.push_back(i);
+  for (index_t k = 0; k < t; ++k) s.t.push_back(n_u + k);
+  return measure_factor_community(a, part, s);
+}
+
+TEST(FactorCommunity, DensitiesMatchDef11) {
+  const auto a = gen::complete_bipartite(3, 4);
+  const auto fc = prefix_community(a, 3, 2, 3);
+  EXPECT_EQ(fc.m_in, 6);
+  EXPECT_EQ(fc.m_out, 5);
+  EXPECT_DOUBLE_EQ(fc.rho_in(), 1.0);
+  EXPECT_DOUBLE_EQ(fc.rho_out(), 1.0);
+}
+
+class Thm7Test : public ::testing::TestWithParam<int> {
+protected:
+  struct Setup {
+    Adjacency a, b;
+    index_t nu_a, r_a, t_a;
+    index_t nu_b, r_b, t_b;
+  };
+
+  Setup make() const {
+    switch (GetParam()) {
+      case 0:
+        return {gen::complete_bipartite(3, 3), gen::complete_bipartite(4, 4),
+                3, 2, 2, 4, 2, 3};
+      case 1:
+        return {gen::crown_graph(4), gen::complete_bipartite(3, 5),
+                4, 2, 3, 3, 1, 2};
+      default: {
+        Rng rng(900 + GetParam());
+        return {gen::connected_random_bipartite(5, 6, 18, rng),
+                gen::connected_random_bipartite(6, 5, 19, rng),
+                5, 3, 2, 6, 3, 2};
+      }
+    }
+  }
+};
+
+TEST_P(Thm7Test, ProductCountsMatchDirectMeasurement) {
+  const auto su = make();
+  const auto fa = prefix_community(su.a, su.nu_a, su.r_a, su.t_a);
+  const auto fb = prefix_community(su.b, su.nu_b, su.r_b, su.t_b);
+  const auto predicted = product_community(fa, fb);
+
+  // Direct measurement on the materialized product.
+  const auto kp = BipartiteKronecker::assumption_ii(su.a, su.b);
+  const auto c = kp.materialize();
+  const auto sc = product_subset(fa, fb, graph::two_color(su.b).value(),
+                                 su.b.nrows());
+  const auto ind = sc.indicator(c.nrows());
+  EXPECT_EQ(predicted.m_in, graph::internal_edges(c, ind));
+  EXPECT_EQ(predicted.m_out, graph::external_edges(c, ind));
+  EXPECT_EQ(predicted.r_size, static_cast<index_t>(sc.r.size()));
+  EXPECT_EQ(predicted.t_size, static_cast<index_t>(sc.t.size()));
+}
+
+TEST_P(Thm7Test, Cor1LowerBoundHolds) {
+  const auto su = make();
+  const auto fa = prefix_community(su.a, su.nu_a, su.r_a, su.t_a);
+  const auto fb = prefix_community(su.b, su.nu_b, su.r_b, su.t_b);
+  const auto pc = product_community(fa, fb);
+  EXPECT_GE(pc.rho_in(), cor1_lower_bound(fa, fb) - 1e-12);
+}
+
+TEST_P(Thm7Test, Cor2UpperBoundHolds) {
+  const auto su = make();
+  const auto fa = prefix_community(su.a, su.nu_a, su.r_a, su.t_a);
+  const auto fb = prefix_community(su.b, su.nu_b, su.r_b, su.t_b);
+  if (fa.m_out == 0 || fb.m_out == 0) GTEST_SKIP();
+  const auto pc = product_community(fa, fb);
+  EXPECT_LE(pc.rho_out(), cor2_upper_bound(fa, fb) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Setups, Thm7Test, ::testing::Range(0, 6));
+
+TEST(ProductSubset, GeometryMatchesDef12) {
+  const auto a = gen::complete_bipartite(2, 2);
+  const auto b = gen::complete_bipartite(3, 3);
+  const auto fa = prefix_community(a, 2, 1, 1);
+  const auto fb = prefix_community(b, 3, 2, 1);
+  const auto part_b = graph::two_color(b).value();
+  const auto sc = product_subset(fa, fb, part_b, b.nrows());
+  // |R_C| = |S_A|·|R_B| = 2·2, |T_C| = |S_A|·|T_B| = 2·1.
+  EXPECT_EQ(sc.r.size(), 4u);
+  EXPECT_EQ(sc.t.size(), 2u);
+  // R_C members lie on side U of the product (B-side determines side).
+  for (const index_t p : sc.r) {
+    EXPECT_EQ(part_b.side[static_cast<std::size_t>(p % b.nrows())], 0);
+  }
+  for (const index_t p : sc.t) {
+    EXPECT_EQ(part_b.side[static_cast<std::size_t>(p % b.nrows())], 1);
+  }
+}
+
+TEST(Cor2, RequiresExternalEdges) {
+  // A community covering the whole factor has m_out = 0.
+  const auto a = gen::complete_bipartite(2, 2);
+  const auto fa = prefix_community(a, 2, 2, 2);
+  EXPECT_THROW(cor2_upper_bound(fa, fa), invalid_argument);
+}
+
+TEST(Cor1, OmegaReflectsSideImbalance) {
+  // Perfectly balanced S_A: ω = 1/2; fully one-sided: ω = 0 → bound 0.
+  const auto a = gen::complete_bipartite(4, 4);
+  const auto balanced = prefix_community(a, 4, 2, 2);
+  const auto lopsided = prefix_community(a, 4, 4, 0);
+  const auto b = gen::complete_bipartite(3, 3);
+  const auto fb = prefix_community(b, 3, 2, 2);
+  EXPECT_GT(cor1_lower_bound(balanced, fb), 0.0);
+  EXPECT_DOUBLE_EQ(cor1_lower_bound(lopsided, fb), 0.0);
+}
+
+} // namespace
+} // namespace kronlab::kron

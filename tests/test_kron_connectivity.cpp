@@ -1,0 +1,130 @@
+// Tests for Thm 1, Thm 2, and the Weichsel disconnection case — the
+// connectivity/bipartiteness predictions of §III-A, validated by BFS on
+// materialized products (the three panels of Fig. 1).
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/traversal.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/connectivity.hpp"
+
+namespace kronlab::kron {
+namespace {
+
+TEST(FactorStructure, ClassifiesCanonicalGraphs) {
+  const auto p = factor_structure(gen::path_graph(4));
+  EXPECT_TRUE(p.connected);
+  EXPECT_TRUE(p.bipartite);
+  EXPECT_FALSE(p.has_odd_closed_walk);
+
+  const auto k3 = factor_structure(gen::complete_graph(3));
+  EXPECT_TRUE(k3.connected);
+  EXPECT_FALSE(k3.bipartite);
+  EXPECT_TRUE(k3.has_odd_closed_walk);
+
+  const auto looped =
+      factor_structure(grb::add_identity(gen::path_graph(3)));
+  EXPECT_TRUE(looped.connected);
+  EXPECT_FALSE(looped.bipartite);       // loops break bipartiteness
+  EXPECT_TRUE(looped.has_odd_closed_walk); // a loop is an odd closed walk
+
+  const auto disc = factor_structure(
+      gen::disjoint_union(gen::path_graph(2), gen::path_graph(2)));
+  EXPECT_FALSE(disc.connected);
+}
+
+// Fig. 1 top: bipartite ⊗ bipartite (both connected, loop-free) is
+// disconnected with exactly two components.
+TEST(Fig1, BipartiteTimesBipartiteSplitsInTwo) {
+  const auto kp =
+      BipartiteKronecker::raw(gen::path_graph(3), gen::cycle_graph(4));
+  const auto pred = predict(kp);
+  EXPECT_TRUE(pred.bipartite);
+  EXPECT_FALSE(pred.connected);
+  EXPECT_EQ(pred.components, 2);
+  const auto c = kp.materialize();
+  EXPECT_EQ(graph::connected_components(c).count, 2);
+  EXPECT_TRUE(graph::is_bipartite(c));
+}
+
+// Fig. 1 lower-left / Thm 1: non-bipartite ⊗ bipartite is connected.
+TEST(Thm1, NonBipartiteFactorConnects) {
+  const auto kp = BipartiteKronecker::assumption_i(
+      gen::triangle_with_tail(1), gen::path_graph(4));
+  const auto pred = predict(kp);
+  EXPECT_TRUE(pred.bipartite);
+  EXPECT_TRUE(pred.connected);
+  const auto c = kp.materialize();
+  EXPECT_TRUE(graph::is_connected(c));
+  EXPECT_TRUE(graph::is_bipartite(c));
+}
+
+// Fig. 1 lower-right / Thm 2: (A + I_A) ⊗ B is connected.
+TEST(Thm2, SelfLoopsConnect) {
+  const auto kp = BipartiteKronecker::assumption_ii(gen::path_graph(3),
+                                                    gen::cycle_graph(4));
+  const auto pred = predict(kp);
+  EXPECT_TRUE(pred.bipartite);
+  EXPECT_TRUE(pred.connected);
+  const auto c = kp.materialize();
+  EXPECT_TRUE(graph::is_connected(c));
+  EXPECT_TRUE(graph::is_bipartite(c));
+}
+
+class PredictionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredictionSweep, RandomFactorsMatchBfsGroundTruth) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  // Mix of the three regimes, chosen by parameter.
+  BipartiteKronecker kp = [&]() {
+    switch (GetParam() % 3) {
+      case 0:
+        return BipartiteKronecker::assumption_i(
+            gen::random_nonbipartite_connected(6, 11, rng),
+            gen::connected_random_bipartite(3, 4, 9, rng));
+      case 1:
+        return BipartiteKronecker::assumption_ii(
+            gen::connected_random_bipartite(3, 4, 8, rng),
+            gen::connected_random_bipartite(4, 3, 9, rng));
+      default:
+        return BipartiteKronecker::raw(
+            gen::connected_random_bipartite(4, 3, 8, rng),
+            gen::connected_random_bipartite(3, 3, 7, rng));
+    }
+  }();
+  const auto pred = predict(kp);
+  const auto c = kp.materialize();
+  EXPECT_EQ(pred.components, graph::connected_components(c).count);
+  EXPECT_EQ(pred.bipartite, graph::is_bipartite(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, PredictionSweep, ::testing::Range(0, 12));
+
+TEST(Predict, NonBipartiteTimesNonBipartiteIsConnectedNotBipartite) {
+  const auto kp = BipartiteKronecker::raw(gen::complete_graph(3),
+                                          gen::triangle_with_tail(1));
+  const auto pred = predict(kp);
+  EXPECT_FALSE(pred.bipartite);
+  EXPECT_TRUE(pred.connected);
+  const auto c = kp.materialize();
+  EXPECT_TRUE(graph::is_connected(c));
+  EXPECT_FALSE(graph::is_bipartite(c));
+}
+
+TEST(Predict, RejectsDisconnectedOrEdgelessFactors) {
+  const auto disc =
+      gen::disjoint_union(gen::path_graph(2), gen::path_graph(2));
+  EXPECT_THROW(
+      predict(BipartiteKronecker::raw(disc, gen::path_graph(2))),
+      domain_error);
+  const auto lonely = gen::path_graph(1); // connected, but no edges
+  EXPECT_THROW(
+      predict(BipartiteKronecker::raw(lonely, gen::path_graph(2))),
+      domain_error);
+}
+
+} // namespace
+} // namespace kronlab::kron

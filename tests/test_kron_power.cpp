@@ -1,0 +1,146 @@
+// Tests for k-fold Kronecker chains and the N-ary factored statistics.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/grb/kron.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/power.hpp"
+
+namespace kronlab::kron {
+namespace {
+
+TEST(KFactoredVector, PointQueryAndReduce) {
+  KFactoredVector v({2, 3}, /*divisor=*/1);
+  v.add_term(2, {grb::Vector<count_t>(std::vector<count_t>{1, 2}),
+                 grb::Vector<count_t>(std::vector<count_t>{3, 4, 5})});
+  // value(p) = 2·a[i]·b[k] for p = 3i + k.
+  EXPECT_EQ(v.at(0), 6);
+  EXPECT_EQ(v.at(2), 10);
+  EXPECT_EQ(v.at(3), 12);
+  EXPECT_EQ(v.at(5), 20);
+  EXPECT_EQ(v.reduce(), 2 * 3 * 12);
+  EXPECT_EQ(v.materialize().data(),
+            (std::vector<count_t>{6, 8, 10, 12, 16, 20}));
+}
+
+TEST(KFactoredVector, ThreeFactorMixedRadix) {
+  KFactoredVector v({2, 2, 2});
+  v.add_term(1, {grb::Vector<count_t>(std::vector<count_t>{1, 10}),
+                 grb::Vector<count_t>(std::vector<count_t>{1, 2}),
+                 grb::Vector<count_t>(std::vector<count_t>{1, 3})});
+  // Index p = 4i + 2j + k.
+  EXPECT_EQ(v.at(0), 1);
+  EXPECT_EQ(v.at(1), 3);
+  EXPECT_EQ(v.at(2), 2);
+  EXPECT_EQ(v.at(7), 60);
+  const auto dense = v.materialize();
+  for (index_t p = 0; p < 8; ++p) EXPECT_EQ(v.at(p), dense[p]);
+}
+
+TEST(KFactoredVector, ValidatesShapes) {
+  KFactoredVector v({2, 2});
+  EXPECT_THROW(
+      v.add_term(1, {grb::Vector<count_t>(3), grb::Vector<count_t>(2)}),
+      invalid_argument);
+  EXPECT_THROW(v.add_term(1, {grb::Vector<count_t>(2)}), invalid_argument);
+}
+
+TEST(ChainKronecker, RequiresALoopFreeFactor) {
+  const auto looped = grb::add_identity(gen::path_graph(3));
+  EXPECT_THROW(ChainKronecker::of({looped, looped}), domain_error);
+  EXPECT_NO_THROW(ChainKronecker::of({looped, gen::path_graph(3)}));
+}
+
+TEST(ChainKronecker, CountsMultiply) {
+  const auto ck = ChainKronecker::of(
+      {gen::complete_graph(3), gen::path_graph(3), gen::path_graph(2)});
+  EXPECT_EQ(ck.num_vertices(), 3 * 3 * 2);
+  EXPECT_EQ(ck.num_edges(), (6 * 4 * 2) / 2);
+  const auto c = ck.materialize();
+  EXPECT_EQ(graph::num_edges(c), ck.num_edges());
+}
+
+TEST(ChainKronecker, PairCaseMatchesGrbKron) {
+  const auto a = gen::complete_graph(3);
+  const auto b = gen::path_graph(4);
+  EXPECT_EQ(ChainKronecker::of({a, b}).materialize(), grb::kron(a, b));
+}
+
+TEST(ChainKronecker, BipartitePrediction) {
+  EXPECT_TRUE(ChainKronecker::of({gen::complete_graph(3),
+                                  gen::path_graph(3)})
+                  .product_bipartite());
+  EXPECT_FALSE(ChainKronecker::of({gen::complete_graph(3),
+                                   gen::triangle_with_tail(1)})
+                   .product_bipartite());
+  // A looped bipartite factor doesn't confer bipartiteness...
+  const auto looped = grb::add_identity(gen::path_graph(3));
+  EXPECT_TRUE(ChainKronecker::of({looped, gen::path_graph(3)})
+                  .product_bipartite());
+}
+
+class ChainGroundTruthTest : public ::testing::TestWithParam<int> {
+protected:
+  ChainKronecker make() const {
+    switch (GetParam()) {
+      case 0:
+        return ChainKronecker::power(gen::complete_graph(3), 3);
+      case 1:
+        return ChainKronecker::of({gen::complete_graph(3),
+                                   gen::path_graph(3),
+                                   gen::path_graph(2)});
+      case 2: {
+        // The paper's two-factor case embeds as a chain of length 2.
+        const auto looped = grb::add_identity(gen::path_graph(3));
+        return ChainKronecker::of({looped, gen::cycle_graph(4)});
+      }
+      case 3:
+        return ChainKronecker::of(
+            {grb::add_identity(gen::star_graph(2)), gen::path_graph(2),
+             gen::complete_bipartite(2, 2)});
+      default: {
+        Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+        return ChainKronecker::of(
+            {gen::random_nonbipartite_connected(4, 6, rng),
+             gen::connected_random_bipartite(2, 3, 5, rng),
+             gen::connected_random_bipartite(3, 2, 5, rng)});
+      }
+    }
+  }
+};
+
+TEST_P(ChainGroundTruthTest, DegreesMatchDirect) {
+  const auto ck = make();
+  EXPECT_EQ(ck.degrees().materialize(),
+            graph::degrees(ck.materialize()));
+}
+
+TEST_P(ChainGroundTruthTest, VertexSquaresMatchDirect) {
+  const auto ck = make();
+  EXPECT_EQ(ck.vertex_squares().materialize(),
+            graph::vertex_butterflies(ck.materialize()));
+}
+
+TEST_P(ChainGroundTruthTest, GlobalSquaresMatchDirect) {
+  const auto ck = make();
+  EXPECT_EQ(ck.global_squares(),
+            graph::global_butterflies(ck.materialize()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, ChainGroundTruthTest,
+                         ::testing::Range(0, 7));
+
+TEST(ChainKronecker, PowerValidation) {
+  EXPECT_THROW(ChainKronecker::power(gen::path_graph(2), 0),
+               invalid_argument);
+  const auto p = ChainKronecker::power(gen::path_graph(2), 4);
+  EXPECT_EQ(p.num_vertices(), 16);
+  EXPECT_TRUE(p.product_bipartite());
+}
+
+} // namespace
+} // namespace kronlab::kron

@@ -1,0 +1,157 @@
+// Tests for BipartiteKronecker construction, validation, index maps and
+// materialization.
+
+#include <gtest/gtest.h>
+
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/graph.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/index_map.hpp"
+#include "kronlab/kron/product.hpp"
+
+namespace kronlab::kron {
+namespace {
+
+TEST(IndexMap, AlphaBetaGammaRoundTrip) {
+  const index_t n = 7;
+  for (index_t p = 0; p < 35; ++p) {
+    EXPECT_EQ(gamma(alpha(p, n), beta(p, n), n), p);
+  }
+  for (index_t x = 0; x < 5; ++x) {
+    for (index_t y = 0; y < n; ++y) {
+      const index_t p = gamma(x, y, n);
+      EXPECT_EQ(alpha(p, n), x);
+      EXPECT_EQ(beta(p, n), y);
+    }
+  }
+}
+
+TEST(IndexMap, ProductShapeSplitsAndComposes) {
+  const ProductShape sh{3, 3, 4, 4};
+  EXPECT_EQ(sh.rows(), 12);
+  const auto [i, k] = sh.split_row(sh.row(2, 3));
+  EXPECT_EQ(i, 2);
+  EXPECT_EQ(k, 3);
+  const auto [j, l] = sh.split_col(sh.col(1, 0));
+  EXPECT_EQ(j, 1);
+  EXPECT_EQ(l, 0);
+}
+
+TEST(AssumptionI, AcceptsValidFactors) {
+  const auto kp = BipartiteKronecker::assumption_i(
+      gen::triangle_with_tail(1), gen::path_graph(3));
+  EXPECT_EQ(kp.mode(), BipartiteKronecker::Mode::assumption_i);
+  EXPECT_EQ(kp.num_vertices(), 4 * 3);
+}
+
+TEST(AssumptionI, RejectsBipartiteA) {
+  EXPECT_THROW(BipartiteKronecker::assumption_i(gen::path_graph(3),
+                                                gen::path_graph(3)),
+               domain_error);
+}
+
+TEST(AssumptionI, RejectsNonBipartiteB) {
+  EXPECT_THROW(BipartiteKronecker::assumption_i(gen::complete_graph(3),
+                                                gen::cycle_graph(5)),
+               domain_error);
+}
+
+TEST(AssumptionI, RejectsDisconnectedFactors) {
+  const auto disc =
+      gen::disjoint_union(gen::path_graph(2), gen::path_graph(2));
+  EXPECT_THROW(
+      BipartiteKronecker::assumption_i(gen::complete_graph(3), disc),
+      domain_error);
+  const auto disc_a =
+      gen::disjoint_union(gen::complete_graph(3), gen::complete_graph(3));
+  EXPECT_THROW(BipartiteKronecker::assumption_i(disc_a, gen::path_graph(3)),
+               domain_error);
+}
+
+TEST(AssumptionI, RejectsSelfLoopsInB) {
+  const auto b = graph::from_undirected_edges(2, {{0, 1}, {0, 0}});
+  EXPECT_THROW(BipartiteKronecker::assumption_i(gen::complete_graph(3), b),
+               domain_error);
+}
+
+TEST(AssumptionII, AddsSelfLoopsToLeftFactor) {
+  const auto kp = BipartiteKronecker::assumption_ii(gen::path_graph(3),
+                                                    gen::path_graph(4));
+  EXPECT_EQ(kp.mode(), BipartiteKronecker::Mode::assumption_ii);
+  EXPECT_TRUE(grb::has_full_self_loops(kp.left()));
+  EXPECT_EQ(kp.left().nnz(), 4 + 3); // 2·(3−1) path entries + 3 loops
+}
+
+TEST(AssumptionII, RejectsPreloopedA) {
+  const auto a = grb::add_identity(gen::path_graph(3));
+  EXPECT_THROW(BipartiteKronecker::assumption_ii(a, gen::path_graph(3)),
+               domain_error);
+}
+
+TEST(AssumptionII, RejectsNonBipartiteFactors) {
+  EXPECT_THROW(BipartiteKronecker::assumption_ii(gen::complete_graph(3),
+                                                 gen::path_graph(3)),
+               domain_error);
+  EXPECT_THROW(BipartiteKronecker::assumption_ii(gen::path_graph(3),
+                                                 gen::cycle_graph(5)),
+               domain_error);
+}
+
+TEST(Raw, RequiresLoopFreeB) {
+  const auto b = graph::from_undirected_edges(2, {{0, 1}, {1, 1}});
+  EXPECT_THROW(BipartiteKronecker::raw(gen::path_graph(2), b),
+               domain_error);
+}
+
+TEST(Raw, RequiresUndirectedFactors) {
+  grb::Coo<count_t> coo(2, 2);
+  coo.push(0, 1, 1); // directed
+  const auto a = graph::Adjacency::from_coo(coo);
+  EXPECT_THROW(BipartiteKronecker::raw(a, gen::path_graph(2)),
+               domain_error);
+}
+
+TEST(Product, CountsMatchFactorArithmetic) {
+  const auto kp = BipartiteKronecker::assumption_i(gen::complete_graph(4),
+                                                   gen::path_graph(5));
+  EXPECT_EQ(kp.num_vertices(), 20);
+  EXPECT_EQ(kp.num_edges(), (12 * 8) / 2);
+  const auto c = kp.materialize();
+  EXPECT_EQ(graph::num_edges(c), kp.num_edges());
+}
+
+TEST(Product, DegreeQueriesMatchMaterialized) {
+  const auto kp = BipartiteKronecker::assumption_ii(gen::star_graph(3),
+                                                    gen::path_graph(3));
+  const auto c = kp.materialize();
+  const auto d = graph::degrees(c);
+  for (index_t p = 0; p < kp.num_vertices(); ++p) {
+    EXPECT_EQ(kp.degree(p), d[p]);
+  }
+}
+
+TEST(Product, HasEdgeMatchesMaterialized) {
+  const auto kp = BipartiteKronecker::assumption_i(
+      gen::triangle_with_tail(1), gen::path_graph(3));
+  const auto c = kp.materialize();
+  for (index_t p = 0; p < c.nrows(); ++p) {
+    for (index_t q = 0; q < c.ncols(); ++q) {
+      EXPECT_EQ(kp.has_edge(p, q), c.has(p, q));
+    }
+  }
+}
+
+TEST(Product, KroneckerOfBipartiteFactorsIsBipartite) {
+  // §III: one bipartite factor forces a bipartite product — even with a
+  // non-bipartite co-factor.
+  const auto kp = BipartiteKronecker::assumption_i(gen::complete_graph(3),
+                                                   gen::path_graph(4));
+  EXPECT_TRUE(graph::is_bipartite(kp.materialize()));
+  const auto kp2 = BipartiteKronecker::assumption_ii(
+      gen::path_graph(3), gen::complete_bipartite(2, 2));
+  EXPECT_TRUE(graph::is_bipartite(kp2.materialize()));
+}
+
+} // namespace
+} // namespace kronlab::kron

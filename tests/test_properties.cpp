@@ -1,0 +1,215 @@
+// Randomized property sweeps: for a wide randomized family of factor pairs
+// (seeded, reproducible), every structural invariant the paper relies on
+// must hold simultaneously.  This is the belt-and-braces layer above the
+// per-theorem tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/butterflies.hpp"
+#include "kronlab/graph/traversal.hpp"
+#include "kronlab/graph/triangles.hpp"
+#include "kronlab/grb/ops.hpp"
+#include "kronlab/kron/connectivity.hpp"
+#include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/kron/oracle.hpp"
+#include "kronlab/kron/stream.hpp"
+
+namespace kronlab {
+namespace {
+
+using kron::BipartiteKronecker;
+
+struct Scenario {
+  std::uint64_t seed;
+  bool self_loop_mode; // false: Assumption 1(i); true: Assumption 1(ii)
+};
+
+class RandomProductProperty : public ::testing::TestWithParam<int> {
+protected:
+  BipartiteKronecker make() const {
+    const auto param = static_cast<std::uint64_t>(GetParam());
+    Rng rng(0xABCD + param);
+    const bool self_loops = (param % 2 == 1);
+    const index_t nu = 3 + static_cast<index_t>(rng.uniform(0, 2));
+    const index_t nw = 3 + static_cast<index_t>(rng.uniform(0, 2));
+    const count_t mb =
+        std::min<count_t>(nu * nw, nu + nw - 1 + rng.uniform(1, 5));
+    auto b = gen::connected_random_bipartite(nu, nw, mb, rng);
+    if (self_loops) {
+      const index_t au = 3 + static_cast<index_t>(rng.uniform(0, 1));
+      const index_t aw = 3 + static_cast<index_t>(rng.uniform(0, 1));
+      const count_t ma =
+          std::min<count_t>(au * aw, au + aw - 1 + rng.uniform(1, 4));
+      return BipartiteKronecker::assumption_ii(
+          gen::connected_random_bipartite(au, aw, ma, rng), std::move(b));
+    }
+    const index_t na = 5 + static_cast<index_t>(rng.uniform(0, 3));
+    const count_t ma =
+        std::min<count_t>(na * (na - 1) / 2, na + 2 + rng.uniform(0, 4));
+    return BipartiteKronecker::assumption_i(
+        gen::random_nonbipartite_connected(na, ma, rng), std::move(b));
+  }
+};
+
+TEST_P(RandomProductProperty, StructuralInvariants) {
+  const auto kp = make();
+  const auto c = kp.materialize();
+  // The product is a simple, undirected, bipartite, connected graph with no
+  // triangles and no self loops.
+  EXPECT_TRUE(graph::is_undirected_adjacency(c));
+  EXPECT_TRUE(grb::has_no_self_loops(c));
+  EXPECT_TRUE(graph::is_bipartite(c));
+  EXPECT_TRUE(graph::is_connected(c));
+  EXPECT_EQ(graph::global_triangles(c), 0);
+}
+
+TEST_P(RandomProductProperty, CountingPipelineAgreesEndToEnd) {
+  const auto kp = make();
+  const auto c = kp.materialize();
+
+  const auto s_truth = kron::vertex_squares(kp).materialize();
+  const auto s_direct = graph::vertex_butterflies(c);
+  EXPECT_EQ(s_truth, s_direct);
+
+  const auto global_truth = kron::global_squares(kp);
+  EXPECT_EQ(global_truth, graph::global_butterflies(c));
+  EXPECT_EQ(4 * global_truth, grb::reduce(s_direct));
+
+  // Edge stream totals close the loop: Σ◇ over directed entries = 8·#C4.
+  kron::GroundTruthStream gts(kp);
+  count_t stream_total = 0;
+  count_t stream_entries = 0;
+  gts.for_each_entry([&](index_t, index_t, count_t sq) {
+    stream_total += sq;
+    ++stream_entries;
+  });
+  EXPECT_EQ(stream_total, 8 * global_truth);
+  EXPECT_EQ(stream_entries, c.nnz());
+}
+
+TEST_P(RandomProductProperty, DegreeDistributionFactorizes) {
+  const auto kp = make();
+  const auto c = kp.materialize();
+  const auto d_truth = kron::degrees(kp);
+  const auto d_direct = graph::degrees(c);
+  EXPECT_EQ(d_truth.materialize(), d_direct);
+  // Total degree = 2|E| both ways.
+  EXPECT_EQ(d_truth.reduce(), 2 * kp.num_edges());
+}
+
+TEST_P(RandomProductProperty, PredictionsMatchReality) {
+  const auto kp = make();
+  const auto pred = kron::predict(kp);
+  const auto c = kp.materialize();
+  EXPECT_EQ(pred.components, graph::connected_components(c).count);
+  EXPECT_EQ(pred.bipartite, graph::is_bipartite(c));
+}
+
+TEST_P(RandomProductProperty, VertexSquaresPositiveWhereDegreesAdmit) {
+  // Remark 1 localized: if both factor endpoints have degree ≥ 2 at some
+  // product vertex with a qualifying neighbor, squares exist around it.
+  // We check the weaker global form: factors with max degree ≥ 2 on both
+  // sides give a product with at least one square.
+  const auto kp = make();
+  if (graph::max_degree(kp.left()) >= 2 &&
+      graph::max_degree(kp.right()) >= 2) {
+    EXPECT_GT(kron::global_squares(kp), 0);
+  }
+}
+
+TEST_P(RandomProductProperty, OracleAndStreamAgreeOnEveryEdge) {
+  // Two independently implemented per-edge ground-truth paths — the
+  // aligned-table stream and the O(1) oracle — must agree entry-by-entry.
+  const auto kp = make();
+  const kron::GroundTruthOracle oracle(kp);
+  kron::GroundTruthStream stream(kp);
+  stream.for_each_entry([&](index_t p, index_t q, count_t sq) {
+    ASSERT_EQ(oracle.edge(p, q).squares, sq)
+        << "edge (" << p << "," << q << ")";
+  });
+}
+
+TEST_P(RandomProductProperty, NoLargePrimeDegrees) {
+  // The paper's noted peculiarity: product degrees are factor-degree
+  // products, so any degree exceeding both factors' maxima must be
+  // composite (a prime would force a degree-1 factor vertex).
+  const auto kp = make();
+  const auto threshold = std::max(graph::max_degree(kp.left()),
+                                  graph::max_degree(kp.right()));
+  const kron::GroundTruthOracle oracle(kp);
+  const auto is_prime = [](count_t n) {
+    if (n < 2) return false;
+    for (count_t f = 2; f * f <= n; ++f) {
+      if (n % f == 0) return false;
+    }
+    return true;
+  };
+  for (const auto& [deg, cnt] : oracle.degree_histogram()) {
+    if (deg > threshold) {
+      EXPECT_FALSE(is_prime(deg)) << "prime degree " << deg << " (x" << cnt
+                                  << ") above factor maxima";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProductProperty,
+                         ::testing::Range(0, 24));
+
+// -------------------------------------------------------------------------
+// Factor-level property sweep: Def. 8/9 formulas vs wedge counting on
+// random bipartite and random non-bipartite graphs.
+
+class RandomFactorProperty : public ::testing::TestWithParam<int> {
+protected:
+  graph::Adjacency make() const {
+    Rng rng(0xF00D + static_cast<std::uint64_t>(GetParam()));
+    if (GetParam() % 2 == 0) {
+      const index_t nu = 5 + static_cast<index_t>(rng.uniform(0, 8));
+      const index_t nw = 5 + static_cast<index_t>(rng.uniform(0, 8));
+      const count_t maxm = nu * nw;
+      return gen::random_bipartite(nu, nw,
+                                   std::min<count_t>(maxm, 3 * (nu + nw)),
+                                   rng);
+    }
+    const index_t n = 8 + static_cast<index_t>(rng.uniform(0, 8));
+    return gen::random_nonbipartite_connected(n, 2 * n, rng);
+  }
+};
+
+TEST_P(RandomFactorProperty, AllCountersAgree) {
+  const auto a = make();
+  const auto s_formula = kron::vertex_squares_formula(a);
+  const auto s_wedge = graph::vertex_butterflies(a);
+  EXPECT_EQ(s_formula, s_wedge);
+  const auto e_formula = kron::edge_squares_formula(a);
+  const auto e_wedge = graph::edge_butterflies(a);
+  EXPECT_EQ(e_formula, e_wedge);
+  if (a.nrows() <= 128) {
+    EXPECT_EQ(s_wedge, graph::vertex_butterflies_naive(a));
+    EXPECT_EQ(graph::global_butterflies(a),
+              graph::global_butterflies_naive(a));
+  }
+}
+
+TEST_P(RandomFactorProperty, SquareAccountingIdentities) {
+  const auto a = make();
+  const auto s = graph::vertex_butterflies(a);
+  const auto e = graph::edge_butterflies(a);
+  const auto g = graph::global_butterflies(a);
+  EXPECT_EQ(grb::reduce(s), 4 * g);
+  EXPECT_EQ(grb::reduce(e), 8 * g);
+  const auto rows = grb::reduce_rows(e);
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    EXPECT_EQ(rows[i], 2 * s[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFactorProperty,
+                         ::testing::Range(0, 20));
+
+} // namespace
+} // namespace kronlab

@@ -1,0 +1,258 @@
+// kronlab_check — score a system under test against Kronecker ground
+// truth.
+//
+// The companion to kronlab_gen: given the same factor specs (so the same
+// deterministic product), it validates artifacts a SUT produced:
+//
+//   --expect-global N      check a claimed global 4-cycle count
+//   --check-truth FILE     re-verify a "p q squares" file (e.g. one a SUT
+//                          filled in) — every line is checked exactly
+//   --check-edges FILE     verify an edge-list file matches the product
+//                          exactly (same edges, nothing missing or extra)
+//   --probes N             spot-check N random vertices/edges and print
+//                          the exact records (for manual comparison)
+//
+// Exit code 0 iff every requested check passed.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+#include "kronlab/kronlab.hpp"
+
+using namespace kronlab;
+
+namespace {
+
+struct Options {
+  std::string left, right;
+  std::string mode = "raw";
+  std::string truth_path;
+  std::string edges_path;
+  count_t expect_global = -1;
+  index_t probes = 0;
+  bool has_expect_global = false;
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: %s --left SPEC --right SPEC [--mode i|ii|raw]\n"
+               "          [--expect-global N] [--check-truth FILE]\n"
+               "          [--check-edges FILE] [--probes N]\n\n"
+               "factor SPEC forms:\n%s\n",
+               argv0, gen::graph_spec_help().c_str());
+  std::exit(code);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        usage(argv[0], 2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--left") {
+      opt.left = need_value("--left");
+    } else if (arg == "--right") {
+      opt.right = need_value("--right");
+    } else if (arg == "--mode") {
+      opt.mode = need_value("--mode");
+    } else if (arg == "--expect-global") {
+      opt.expect_global =
+          std::strtoll(need_value("--expect-global").c_str(), nullptr, 10);
+      opt.has_expect_global = true;
+    } else if (arg == "--check-truth") {
+      opt.truth_path = need_value("--check-truth");
+    } else if (arg == "--check-edges") {
+      opt.edges_path = need_value("--check-edges");
+    } else if (arg == "--probes") {
+      opt.probes =
+          std::strtoll(need_value("--probes").c_str(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0], 2);
+    }
+  }
+  if (opt.left.empty() || opt.right.empty()) {
+    std::fprintf(stderr, "--left and --right are required\n");
+    usage(argv[0], 2);
+  }
+  return opt;
+}
+
+bool check_truth_file(const kron::GroundTruthOracle& oracle,
+                      const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  count_t checked = 0, bad = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+    std::istringstream ls(line);
+    index_t p, q;
+    count_t claimed;
+    if (!(ls >> p >> q >> claimed)) {
+      std::fprintf(stderr, "  malformed truth line: %s\n", line.c_str());
+      ++bad;
+      continue;
+    }
+    ++checked;
+    if (p < 1 || q < 1 || p > oracle.num_vertices() ||
+        q > oracle.num_vertices()) {
+      if (bad < 5) {
+        std::fprintf(stderr, "  WRONG: (%lld,%lld) out of range\n",
+                     static_cast<long long>(p), static_cast<long long>(q));
+      }
+      ++bad;
+      continue;
+    }
+    try {
+      const auto record = oracle.edge(p - 1, q - 1);
+      if (record.squares != claimed) {
+        if (bad < 5) {
+          std::fprintf(
+              stderr, "  WRONG: edge (%lld,%lld) claimed %lld exact %lld\n",
+              static_cast<long long>(p), static_cast<long long>(q),
+              static_cast<long long>(claimed),
+              static_cast<long long>(record.squares));
+        }
+        ++bad;
+      }
+    } catch (const invalid_argument&) {
+      if (bad < 5) {
+        std::fprintf(stderr, "  WRONG: (%lld,%lld) is not an edge\n",
+                     static_cast<long long>(p), static_cast<long long>(q));
+      }
+      ++bad;
+    }
+  }
+  std::printf("truth file  : %lld lines checked, %lld wrong -> %s\n",
+              static_cast<long long>(checked), static_cast<long long>(bad),
+              bad == 0 ? "PASS" : "FAIL");
+  return bad == 0;
+}
+
+bool check_edges_file(const kron::BipartiteKronecker& kp,
+                      const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::unordered_set<std::uint64_t> seen;
+  const auto key = [&](index_t p, index_t q) {
+    if (p > q) std::swap(p, q);
+    return static_cast<std::uint64_t>(p) *
+               static_cast<std::uint64_t>(kp.num_vertices()) +
+           static_cast<std::uint64_t>(q);
+  };
+  std::string line;
+  count_t extra = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+    std::istringstream ls(line);
+    index_t p, q;
+    if (!(ls >> p >> q)) {
+      std::fprintf(stderr, "  malformed edge line: %s\n", line.c_str());
+      ++extra;
+      continue;
+    }
+    --p;
+    --q;
+    if (!kp.has_edge(p, q)) {
+      if (extra < 5) {
+        std::fprintf(stderr, "  EXTRA edge (%lld,%lld)\n",
+                     static_cast<long long>(p + 1),
+                     static_cast<long long>(q + 1));
+      }
+      ++extra;
+      continue;
+    }
+    seen.insert(key(p, q));
+  }
+  count_t missing = 0;
+  kron::EdgeStream(kp).for_each_edge([&](index_t p, index_t q) {
+    if (!seen.count(key(p, q))) {
+      if (missing < 5) {
+        std::fprintf(stderr, "  MISSING edge (%lld,%lld)\n",
+                     static_cast<long long>(p + 1),
+                     static_cast<long long>(q + 1));
+      }
+      ++missing;
+    }
+  });
+  std::printf("edge file   : %zu distinct present, %lld extra, %lld "
+              "missing -> %s\n",
+              seen.size(), static_cast<long long>(extra),
+              static_cast<long long>(missing),
+              (extra == 0 && missing == 0) ? "PASS" : "FAIL");
+  return extra == 0 && missing == 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  try {
+    const auto a = gen::parse_graph_spec(opt.left);
+    const auto b = gen::parse_graph_spec(opt.right);
+    const auto kp = [&] {
+      if (opt.mode == "i") {
+        return kron::BipartiteKronecker::assumption_i(a, b);
+      }
+      if (opt.mode == "ii") {
+        return kron::BipartiteKronecker::assumption_ii(a, b);
+      }
+      return kron::BipartiteKronecker::raw(a, b);
+    }();
+    const kron::GroundTruthOracle oracle(kp);
+
+    bool ok = true;
+    if (opt.has_expect_global) {
+      const count_t exact = kron::global_squares(kp);
+      const bool pass = exact == opt.expect_global;
+      std::printf("global count: claimed %s exact %s -> %s\n",
+                  format_count(opt.expect_global).c_str(),
+                  format_count(exact).c_str(), pass ? "PASS" : "FAIL");
+      ok &= pass;
+    }
+    if (!opt.truth_path.empty()) {
+      ok &= check_truth_file(oracle, opt.truth_path);
+    }
+    if (!opt.edges_path.empty()) {
+      ok &= check_edges_file(kp, opt.edges_path);
+    }
+    if (opt.probes > 0) {
+      Rng rng(12345);
+      std::printf("probes:\n");
+      for (index_t t = 0; t < opt.probes; ++t) {
+        const auto v = oracle.sample_vertex(rng);
+        const auto e = oracle.sample_edge(rng);
+        std::printf("  vertex %lld: deg=%lld squares=%lld | edge "
+                    "(%lld,%lld): squares=%lld\n",
+                    static_cast<long long>(v.p),
+                    static_cast<long long>(v.degree),
+                    static_cast<long long>(v.squares),
+                    static_cast<long long>(e.p),
+                    static_cast<long long>(e.q),
+                    static_cast<long long>(e.squares));
+      }
+    }
+    return ok ? 0 : 1;
+  } catch (const error& e) {
+    std::fprintf(stderr, "kronlab_check: %s\n", e.what());
+    return 2;
+  }
+}
