@@ -1,14 +1,19 @@
 // X3: google-benchmark microbenchmarks for the grb kernels the ground-truth
 // pipeline is built from: mxv, SpGEMM, Hadamard, Kronecker product, and the
-// factor-statistics bundle.
+// factor-statistics bundle.  Per-kernel parallel metrics (chunk counts,
+// busy time, load imbalance) accumulate across all iterations and are
+// dumped after the benchmark table.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "kronlab/gen/random_bipartite.hpp"
 #include "kronlab/graph/butterflies.hpp"
 #include "kronlab/grb/kron.hpp"
 #include "kronlab/grb/ops.hpp"
 #include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/parallel/metrics.hpp"
 
 using namespace kronlab;
 
@@ -85,3 +90,14 @@ void BM_Transpose(benchmark::State& state) {
 BENCHMARK(BM_Transpose)->Arg(4)->Arg(16)->Arg(64);
 
 } // namespace
+
+int main(int argc, char** argv) {
+  metrics::set_enabled(true);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n== per-kernel parallel metrics ==\n%s",
+              metrics::report_text().c_str());
+  return 0;
+}

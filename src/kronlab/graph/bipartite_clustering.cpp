@@ -5,6 +5,8 @@
 #include "kronlab/graph/butterflies.hpp"
 #include "kronlab/grb/ops.hpp"
 #include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/parallel/metrics.hpp"
+#include "kronlab/parallel/parallel_for.hpp"
 
 namespace kronlab::graph {
 
@@ -22,13 +24,18 @@ void require_bipartite_simple(const Adjacency& a, const char* where) {
 
 count_t three_paths(const Adjacency& a) {
   require_bipartite_simple(a, "three_paths");
+  metrics::KernelScope scope("graph/three_paths");
   const auto d = degrees(a);
-  count_t directed = 0;
-  for (index_t i = 0; i < a.nrows(); ++i) {
-    for (const index_t j : a.row_cols(i)) {
-      directed += (d[i] - 1) * (d[j] - 1);
-    }
-  }
+  const count_t directed = parallel_reduce_dynamic<count_t>(
+      0, a.nrows(), 0,
+      [&](index_t i) {
+        count_t acc = 0;
+        for (const index_t j : a.row_cols(i)) {
+          acc += (d[i] - 1) * (d[j] - 1);
+        }
+        return acc;
+      },
+      [](count_t x, count_t y) { return x + y; });
   return directed / 2;
 }
 
@@ -41,10 +48,11 @@ double robins_alexander_cc(const Adjacency& a) {
 
 grb::Vector<double> local_closure(const Adjacency& a) {
   require_bipartite_simple(a, "local_closure");
+  metrics::KernelScope scope("graph/local_closure");
   const auto d = degrees(a);
   const auto s = vertex_butterflies(a);
   grb::Vector<double> out(a.nrows(), 0.0);
-  for (index_t v = 0; v < a.nrows(); ++v) {
+  parallel_for_dynamic(0, a.nrows(), [&](index_t v) {
     // 3-paths with v interior: pick the other interior j ∈ N(v); the path
     // is x–v–j–y with x ∈ N(v)\{j}, y ∈ N(j)\{v}.
     count_t paths = 0;
@@ -56,7 +64,7 @@ grb::Vector<double> local_closure(const Adjacency& a) {
       out[v] = 2.0 * static_cast<double>(s[v]) /
                static_cast<double>(paths);
     }
-  }
+  });
   return out;
 }
 

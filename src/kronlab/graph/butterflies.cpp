@@ -4,6 +4,7 @@
 
 #include "kronlab/common/error.hpp"
 #include "kronlab/grb/ops.hpp"
+#include "kronlab/parallel/metrics.hpp"
 #include "kronlab/parallel/parallel_for.hpp"
 
 namespace kronlab::graph {
@@ -18,14 +19,24 @@ void require_simple(const Adjacency& a, const char* where) {
   }
 }
 
+/// Worker-local wedge-count table.  Allocated once per worker by the
+/// dynamic dispatcher and reused across every chunk that worker claims —
+/// the O(n) zero-fill happens per worker, not per chunk.
+struct WedgeScratch {
+  explicit WedgeScratch(index_t n)
+      : cnt(static_cast<std::size_t>(n), 0) {}
+  std::vector<count_t> cnt;     ///< cnt[k] = |N(i) ∩ N(k)|, zeroed between i's
+  std::vector<index_t> touched; ///< nonzero entries of cnt
+};
+
 /// Visit each vertex i in [lo, hi), building the wedge-count table
 /// cnt[k] = |N(i) ∩ N(k)| over i's second neighborhood, then hand
 /// (i, cnt, touched) to `use`.  cnt entries are zeroed before return.
 template <typename Use>
-void for_each_wedge_table(const Adjacency& a, index_t lo, index_t hi,
-                          Use&& use) {
-  std::vector<count_t> cnt(static_cast<std::size_t>(a.nrows()), 0);
-  std::vector<index_t> touched;
+void for_each_wedge_table(const Adjacency& a, WedgeScratch& ws, index_t lo,
+                          index_t hi, Use&& use) {
+  auto& cnt = ws.cnt;
+  auto& touched = ws.touched;
   for (index_t i = lo; i < hi; ++i) {
     touched.clear();
     for (const index_t j : a.row_cols(i)) {
@@ -44,47 +55,53 @@ void for_each_wedge_table(const Adjacency& a, index_t lo, index_t hi,
 
 grb::Vector<count_t> vertex_butterflies(const Adjacency& a) {
   require_simple(a, "vertex_butterflies");
+  metrics::KernelScope scope("graph/vertex_butterflies");
   grb::Vector<count_t> s(a.nrows(), 0);
-  parallel_for_range(0, a.nrows(), [&](index_t lo, index_t hi) {
-    for_each_wedge_table(
-        a, lo, hi,
-        [&](index_t i, const std::vector<count_t>& cnt,
-            const std::vector<index_t>& touched) {
-          count_t acc = 0;
-          for (const index_t k : touched) {
-            const count_t c = cnt[static_cast<std::size_t>(k)];
-            acc += c * (c - 1) / 2;
-          }
-          s[i] = acc;
-        });
-  });
+  parallel_for_range_dynamic_scratch(
+      0, a.nrows(), [&](std::size_t) { return WedgeScratch(a.nrows()); },
+      [&](WedgeScratch& ws, index_t lo, index_t hi) {
+        for_each_wedge_table(
+            a, ws, lo, hi,
+            [&](index_t i, const std::vector<count_t>& cnt,
+                const std::vector<index_t>& touched) {
+              count_t acc = 0;
+              for (const index_t k : touched) {
+                const count_t c = cnt[static_cast<std::size_t>(k)];
+                acc += c * (c - 1) / 2;
+              }
+              s[i] = acc;
+            });
+      });
   return s;
 }
 
 grb::Csr<count_t> edge_butterflies(const Adjacency& a) {
   require_simple(a, "edge_butterflies");
+  metrics::KernelScope scope("graph/edge_butterflies");
   grb::Csr<count_t> out = a;
   auto& vals = out.vals();
   const auto& rp = out.row_ptr();
-  parallel_for_range(0, a.nrows(), [&](index_t lo, index_t hi) {
-    for_each_wedge_table(
-        a, lo, hi,
-        [&](index_t i, const std::vector<count_t>& cnt,
-            const std::vector<index_t>&) {
-          const auto cols = a.row_cols(i);
-          for (std::size_t e = 0; e < cols.size(); ++e) {
-            const index_t j = cols[e];
-            count_t acc = 0;
-            for (const index_t k : a.row_cols(j)) {
-              if (k == i) continue;
-              acc += cnt[static_cast<std::size_t>(k)] - 1;
-            }
-            vals[static_cast<std::size_t>(
-                     rp[static_cast<std::size_t>(i)]) +
-                 e] = acc;
-          }
-        });
-  });
+  parallel_for_range_dynamic_scratch(
+      0, a.nrows(), [&](std::size_t) { return WedgeScratch(a.nrows()); },
+      [&](WedgeScratch& ws, index_t lo, index_t hi) {
+        for_each_wedge_table(
+            a, ws, lo, hi,
+            [&](index_t i, const std::vector<count_t>& cnt,
+                const std::vector<index_t>&) {
+              const auto cols = a.row_cols(i);
+              for (std::size_t e = 0; e < cols.size(); ++e) {
+                const index_t j = cols[e];
+                count_t acc = 0;
+                for (const index_t k : a.row_cols(j)) {
+                  if (k == i) continue;
+                  acc += cnt[static_cast<std::size_t>(k)] - 1;
+                }
+                vals[static_cast<std::size_t>(
+                         rp[static_cast<std::size_t>(i)]) +
+                     e] = acc;
+              }
+            });
+      });
   return out;
 }
 

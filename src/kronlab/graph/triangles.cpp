@@ -5,6 +5,7 @@
 #include "kronlab/common/error.hpp"
 #include "kronlab/grb/coo.hpp"
 #include "kronlab/grb/ops.hpp"
+#include "kronlab/parallel/metrics.hpp"
 #include "kronlab/parallel/parallel_for.hpp"
 
 namespace kronlab::graph {
@@ -41,10 +42,13 @@ void require_loop_free(const Adjacency& a, const char* where) {
 
 grb::Csr<count_t> edge_triangles(const Adjacency& a) {
   require_loop_free(a, "edge_triangles");
+  metrics::KernelScope scope("graph/edge_triangles");
   grb::Csr<count_t> out = a;
   auto& vals = out.vals();
   const auto& rp = out.row_ptr();
-  parallel_for(0, a.nrows(), [&](index_t i) {
+  // Row cost is quadratic in degree, so hub rows of heavy-tailed factors
+  // need the dynamic schedule to avoid serializing behind one chunk.
+  parallel_for_dynamic(0, a.nrows(), [&](index_t i) {
     const auto ni = a.row_cols(i);
     const auto cols = out.row_cols(i);
     for (std::size_t k = 0; k < cols.size(); ++k) {

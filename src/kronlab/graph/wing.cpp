@@ -7,6 +7,8 @@
 #include "kronlab/graph/bipartite.hpp"
 #include "kronlab/graph/butterflies.hpp"
 #include "kronlab/grb/ops.hpp"
+#include "kronlab/parallel/metrics.hpp"
+#include "kronlab/parallel/parallel_for.hpp"
 
 namespace kronlab::graph {
 
@@ -89,14 +91,17 @@ std::vector<std::pair<index_t, index_t>> WingDecomposition::wing_edges(
 
 WingDecomposition wing_decomposition(const Adjacency& a) {
   require_bipartite_simple(a, "wing_decomposition");
+  metrics::KernelScope scope("graph/wing_decomposition");
   const EdgeIndex ei(a);
   const index_t m = ei.count();
 
-  // Initial support = per-edge butterfly counts.
+  // Initial support = per-edge butterfly counts.  Each undirected edge id
+  // is written exactly once (from its i < j endpoint), so the scatter is
+  // race-free.
   std::vector<count_t> support(static_cast<std::size_t>(m), 0);
   {
     const auto sq = edge_butterflies(a);
-    for (index_t i = 0; i < a.nrows(); ++i) {
+    parallel_for_dynamic(0, a.nrows(), [&](index_t i) {
       const auto cols = sq.row_cols(i);
       const auto vals = sq.row_vals(i);
       for (std::size_t e = 0; e < cols.size(); ++e) {
@@ -104,7 +109,7 @@ WingDecomposition wing_decomposition(const Adjacency& a) {
           support[static_cast<std::size_t>(ei.id(i, cols[e]))] = vals[e];
         }
       }
-    }
+    });
   }
 
   std::vector<char> alive(static_cast<std::size_t>(m), 1);

@@ -11,7 +11,9 @@
 #pragma once
 
 #include "kronlab/grb/csr.hpp"
+#include "kronlab/grb/ops.hpp"
 #include "kronlab/grb/semiring.hpp"
+#include "kronlab/parallel/metrics.hpp"
 #include "kronlab/parallel/parallel_for.hpp"
 
 namespace kronlab::grb {
@@ -26,13 +28,20 @@ Csr<T> mxm_masked(const Csr<T>& mask, const Csr<T>& a, const Csr<T>& b) {
   KRONLAB_REQUIRE(a.ncols() == b.nrows(), "mxm_masked shape mismatch");
   KRONLAB_REQUIRE(mask.nrows() == a.nrows() && mask.ncols() == b.ncols(),
                   "mask shape mismatch");
+  metrics::KernelScope scope("grb/mxm_masked");
   std::vector<T> vals(static_cast<std::size_t>(mask.nnz()), S::zero());
   const auto& mrp = mask.row_ptr();
 
-  parallel_for_range(0, mask.nrows(), [&](index_t lo, index_t hi) {
-    // Dense gather per row over B's columns; rows in a chunk share it.
-    std::vector<T> acc(static_cast<std::size_t>(b.ncols()), S::zero());
-    std::vector<index_t> touched;
+  // Dense gather over B's columns, one accumulator per worker (not per
+  // chunk); hub rows are load-balanced by the dynamic schedule.
+  parallel_for_range_dynamic_scratch(
+      0, mask.nrows(),
+      [&](std::size_t) {
+        return detail::SpgemmScratch<T>(b.ncols(), S::zero());
+      },
+      [&](detail::SpgemmScratch<T>& ws, index_t lo, index_t hi) {
+    auto& acc = ws.acc;
+    auto& touched = ws.touched;
     for (index_t i = lo; i < hi; ++i) {
       const auto mcols = mask.row_cols(i);
       if (mcols.empty()) continue;

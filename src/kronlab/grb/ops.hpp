@@ -16,6 +16,7 @@
 #include "kronlab/grb/csr.hpp"
 #include "kronlab/grb/semiring.hpp"
 #include "kronlab/grb/vector.hpp"
+#include "kronlab/parallel/metrics.hpp"
 #include "kronlab/parallel/parallel_for.hpp"
 
 namespace kronlab::grb {
@@ -24,8 +25,9 @@ namespace kronlab::grb {
 template <typename T, typename S = PlusTimes<T>>
 Vector<T> mxv(const Csr<T>& a, const Vector<T>& x) {
   KRONLAB_REQUIRE(a.ncols() == x.size(), "mxv shape mismatch");
+  metrics::KernelScope scope("grb/mxv");
   Vector<T> y(a.nrows(), S::zero());
-  parallel_for(0, a.nrows(), [&](index_t i) {
+  parallel_for_dynamic(0, a.nrows(), [&](index_t i) {
     const auto cols = a.row_cols(i);
     const auto vals = a.row_vals(i);
     T acc = S::zero();
@@ -37,55 +39,73 @@ Vector<T> mxv(const Csr<T>& a, const Vector<T>& x) {
   return y;
 }
 
+namespace detail {
+/// Worker-local Gustavson accumulator, built once per worker by the
+/// dynamic dispatcher and reused across chunks.
+template <typename T>
+struct SpgemmScratch {
+  SpgemmScratch(index_t n, T zero)
+      : acc(static_cast<std::size_t>(n), zero) {}
+  std::vector<T> acc;
+  std::vector<index_t> touched;
+};
+} // namespace detail
+
 /// C = A·B over semiring S via row-wise Gustavson with a dense accumulator.
 /// Intended for factor-sized operands (accumulator is O(ncols(B)) per
-/// worker chunk).
+/// worker).
 template <typename T, typename S = PlusTimes<T>>
 Csr<T> mxm(const Csr<T>& a, const Csr<T>& b) {
   KRONLAB_REQUIRE(a.ncols() == b.nrows(), "mxm shape mismatch");
+  metrics::KernelScope scope("grb/mxm");
   const index_t m = a.nrows();
   const index_t n = b.ncols();
 
   std::vector<std::vector<index_t>> row_cols(static_cast<std::size_t>(m));
   std::vector<std::vector<T>> row_vals(static_cast<std::size_t>(m));
 
-  parallel_for_range(0, m, [&](index_t lo, index_t hi) {
-    std::vector<T> acc(static_cast<std::size_t>(n), S::zero());
-    std::vector<index_t> touched;
-    for (index_t i = lo; i < hi; ++i) {
-      touched.clear();
-      const auto acols = a.row_cols(i);
-      const auto avals = a.row_vals(i);
-      for (std::size_t ka = 0; ka < acols.size(); ++ka) {
-        const index_t j = acols[ka];
-        const T va = avals[ka];
-        const auto bcols = b.row_cols(j);
-        const auto bvals = b.row_vals(j);
-        for (std::size_t kb = 0; kb < bcols.size(); ++kb) {
-          const index_t c = bcols[kb];
-          if (acc[static_cast<std::size_t>(c)] == S::zero()) {
-            touched.push_back(c);
+  // Row cost is Σ_j∈row deg(B_j): hub rows dominate on heavy-tailed
+  // factors, so chunks are claimed dynamically.
+  parallel_for_range_dynamic_scratch(
+      0, m,
+      [&](std::size_t) { return detail::SpgemmScratch<T>(n, S::zero()); },
+      [&](detail::SpgemmScratch<T>& ws, index_t lo, index_t hi) {
+        auto& acc = ws.acc;
+        auto& touched = ws.touched;
+        for (index_t i = lo; i < hi; ++i) {
+          touched.clear();
+          const auto acols = a.row_cols(i);
+          const auto avals = a.row_vals(i);
+          for (std::size_t ka = 0; ka < acols.size(); ++ka) {
+            const index_t j = acols[ka];
+            const T va = avals[ka];
+            const auto bcols = b.row_cols(j);
+            const auto bvals = b.row_vals(j);
+            for (std::size_t kb = 0; kb < bcols.size(); ++kb) {
+              const index_t c = bcols[kb];
+              if (acc[static_cast<std::size_t>(c)] == S::zero()) {
+                touched.push_back(c);
+              }
+              acc[static_cast<std::size_t>(c)] =
+                  S::add(acc[static_cast<std::size_t>(c)],
+                         S::mult(va, bvals[kb]));
+            }
           }
-          acc[static_cast<std::size_t>(c)] =
-              S::add(acc[static_cast<std::size_t>(c)],
-                     S::mult(va, bvals[kb]));
+          std::sort(touched.begin(), touched.end());
+          auto& rc = row_cols[static_cast<std::size_t>(i)];
+          auto& rv = row_vals[static_cast<std::size_t>(i)];
+          rc.reserve(touched.size());
+          rv.reserve(touched.size());
+          for (const index_t c : touched) {
+            const T v = acc[static_cast<std::size_t>(c)];
+            acc[static_cast<std::size_t>(c)] = S::zero();
+            if (v != S::zero()) { // additive cancellation can produce zeros
+              rc.push_back(c);
+              rv.push_back(v);
+            }
+          }
         }
-      }
-      std::sort(touched.begin(), touched.end());
-      auto& rc = row_cols[static_cast<std::size_t>(i)];
-      auto& rv = row_vals[static_cast<std::size_t>(i)];
-      rc.reserve(touched.size());
-      rv.reserve(touched.size());
-      for (const index_t c : touched) {
-        const T v = acc[static_cast<std::size_t>(c)];
-        acc[static_cast<std::size_t>(c)] = S::zero();
-        if (v != S::zero()) { // additive cancellation can produce zeros
-          rc.push_back(c);
-          rv.push_back(v);
-        }
-      }
-    }
-  });
+      });
 
   std::vector<offset_t> row_ptr(static_cast<std::size_t>(m) + 1, 0);
   for (index_t i = 0; i < m; ++i) {
@@ -95,7 +115,7 @@ Csr<T> mxm(const Csr<T>& a, const Csr<T>& b) {
   }
   std::vector<index_t> col_idx(static_cast<std::size_t>(row_ptr.back()));
   std::vector<T> vals(static_cast<std::size_t>(row_ptr.back()));
-  parallel_for(0, m, [&](index_t i) {
+  parallel_for_dynamic(0, m, [&](index_t i) {
     auto o = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
     const auto& rc = row_cols[static_cast<std::size_t>(i)];
     const auto& rv = row_vals[static_cast<std::size_t>(i)];

@@ -5,6 +5,8 @@
 #include "kronlab/graph/graph.hpp"
 #include "kronlab/grb/masked.hpp"
 #include "kronlab/grb/ops.hpp"
+#include "kronlab/parallel/metrics.hpp"
+#include "kronlab/parallel/parallel_for.hpp"
 
 namespace kronlab::kron {
 
@@ -21,6 +23,7 @@ void require_loop_free_undirected(const Adjacency& a, const char* where) {
 
 FactorStats FactorStats::compute(const Adjacency& m) {
   KRONLAB_REQUIRE(m.nrows() == m.ncols(), "factor must be square");
+  metrics::KernelScope scope("kron/factor_stats");
   FactorStats st;
   st.d = grb::reduce_rows(m);
   const auto m2 = grb::mxm(m, m);
@@ -28,11 +31,11 @@ FactorStats FactorStats::compute(const Adjacency& m) {
   st.d2 = grb::ewise_mult(st.d, st.d);
   // diag(M⁴)_i = Σ_j (M²)_ij · (M²)_ji = Σ_j (M²)_ij² for symmetric M.
   st.diag4 = grb::Vector<count_t>(m.nrows(), 0);
-  for (index_t i = 0; i < m.nrows(); ++i) {
+  parallel_for_dynamic(0, m.nrows(), [&](index_t i) {
     count_t acc = 0;
     for (const count_t v : m2.row_vals(i)) acc += v * v;
     st.diag4[i] = acc;
-  }
+  });
   // M³ ∘ M via a masked product: never materializes M³ (whose fill-in is
   // quadratic for hub-heavy factors).
   st.m3_had_m = grb::mxm_masked(m, m2, m);
@@ -41,18 +44,20 @@ FactorStats FactorStats::compute(const Adjacency& m) {
 
 grb::Vector<count_t> vertex_squares_formula(const Adjacency& a) {
   require_loop_free_undirected(a, "vertex_squares_formula");
+  metrics::KernelScope scope("kron/vertex_squares_formula");
   const auto st = FactorStats::compute(a);
   grb::Vector<count_t> s(a.nrows());
-  for (index_t i = 0; i < a.nrows(); ++i) {
+  parallel_for_dynamic(0, a.nrows(), [&](index_t i) {
     const count_t num = st.diag4[i] - st.d2[i] - st.w2[i] + st.d[i];
     KRONLAB_DBG_ASSERT(num % 2 == 0, "Def. 8 numerator must be even");
     s[i] = num / 2;
-  }
+  });
   return s;
 }
 
 grb::Csr<count_t> edge_squares_formula(const Adjacency& a) {
   require_loop_free_undirected(a, "edge_squares_formula");
+  metrics::KernelScope scope("kron/edge_squares_formula");
   // A³ restricted to A's structure — masked, so A³'s fill-in is never
   // materialized.
   const auto a3 = grb::mxm_masked(a, grb::mxm(a, a), a);
@@ -62,14 +67,14 @@ grb::Csr<count_t> edge_squares_formula(const Adjacency& a) {
   grb::Csr<count_t> out = a;
   auto& vals = out.vals();
   const auto& rp = out.row_ptr();
-  for (index_t i = 0; i < a.nrows(); ++i) {
+  parallel_for_dynamic(0, a.nrows(), [&](index_t i) {
     const auto cols = out.row_cols(i);
     for (std::size_t k = 0; k < cols.size(); ++k) {
       const index_t j = cols[k];
       vals[static_cast<std::size_t>(rp[static_cast<std::size_t>(i)]) + k] =
           a3.at(i, j) - d[i] - d[j] + 1;
     }
-  }
+  });
   return out;
 }
 

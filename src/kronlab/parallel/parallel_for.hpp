@@ -2,18 +2,35 @@
 //
 // Fork/join loop helpers over index ranges, built on ThreadPool.
 //
-// Kernels in kronlab are written as `parallel_for(0, n, body)` where `body`
-// receives a contiguous [begin, end) chunk; chunking (rather than
-// element-at-a-time dispatch) keeps per-element overhead at zero and gives
-// each worker cache-friendly contiguous slices, as recommended by the HPC
-// guides for data-parallel loops.
+// Two schedules are provided:
+//
+//  * Static (`parallel_for`, `parallel_for_range`, `parallel_reduce`):
+//    [lo, hi) is split into exactly pool.size() contiguous chunks.  Zero
+//    dispatch overhead, but one expensive chunk (a hub row of a
+//    heavy-tailed factor) serializes the whole loop behind it.
+//  * Dynamic (`*_dynamic` variants): workers pull grain-sized chunks off a
+//    shared atomic counter until the range is drained, so a worker stuck
+//    on a hub row stops claiming new chunks and the others backfill.  The
+//    `_scratch` form hands each worker a worker-local scratch object built
+//    once per worker (not once per chunk) — this is what lets the wedge
+//    table in butterflies.cpp and the SpGEMM accumulator in grb::mxm be
+//    O(n) allocations per worker instead of per chunk.
+//
+// Dynamic dispatchers report per-worker busy time and chunk counts to the
+// innermost metrics::KernelScope (see parallel/metrics.hpp) when metrics
+// are enabled.  Nested parallel loops (a parallel kernel called from
+// inside another parallel region) are detected and run serially on the
+// calling worker, covering their whole range.
 
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
+#include "kronlab/common/timer.hpp"
 #include "kronlab/common/types.hpp"
+#include "kronlab/parallel/metrics.hpp"
 #include "kronlab/parallel/thread_pool.hpp"
 
 namespace kronlab {
@@ -75,6 +92,122 @@ T parallel_reduce(index_t lo, index_t hi, T init, Body&& body, Op&& op,
     for (index_t i = b; i < e; ++i) acc = op(acc, body(i));
     partial[id] = acc;
   });
+  T acc = init;
+  for (const T& p : partial) acc = op(acc, p);
+  return acc;
+}
+
+/// Chunk size for the dynamic schedule when the caller passes `grain == 0`:
+/// target ~8 chunks per worker so stragglers can be backfilled without
+/// drowning in dispatch traffic; floor of 1.
+inline index_t dynamic_grain(index_t n, std::size_t threads, index_t grain) {
+  if (grain > 0) return grain;
+  const index_t chunks = static_cast<index_t>(threads) * 8;
+  return std::max<index_t>(index_t{1}, (n + chunks - 1) / chunks);
+}
+
+/// Dynamically scheduled chunked loop with worker-local scratch.
+///
+/// `make_scratch(worker_id)` runs once per participating worker; the
+/// returned object is passed by reference to every `body(scratch, b, e)`
+/// chunk that worker claims.  Chunks are grain-sized slices of [lo, hi)
+/// claimed from a shared atomic counter.  Exceptions thrown by `body` stop
+/// further dispatch and are rethrown on the caller.  Runs serially when
+/// the pool has one thread, the range fits in one grain, or the call is
+/// nested inside another parallel region.
+template <typename MakeScratch, typename Body>
+void parallel_for_range_dynamic_scratch(index_t lo, index_t hi,
+                                        MakeScratch&& make_scratch,
+                                        Body&& body,
+                                        ThreadPool& pool = global_pool(),
+                                        index_t grain = 0) {
+  const index_t n = hi - lo;
+  if (n <= 0) return;
+  metrics::KernelScope* const scope = metrics::KernelScope::current();
+  const std::size_t threads = pool.size();
+  const index_t g = dynamic_grain(n, threads, grain);
+  if (threads == 1 || n <= g || ThreadPool::in_parallel_region()) {
+    Timer timer;
+    auto scratch = make_scratch(std::size_t{0});
+    body(scratch, lo, hi);
+    if (scope) {
+      scope->note_worker(0, timer.seconds(), 1,
+                         static_cast<std::uint64_t>(n));
+    }
+    return;
+  }
+  std::atomic<index_t> next{lo};
+  std::atomic<bool> failed{false};
+  pool.run([&](std::size_t id) {
+    Timer timer;
+    std::uint64_t chunks = 0;
+    std::uint64_t items = 0;
+    auto scratch = make_scratch(id);
+    while (!failed.load(std::memory_order_relaxed)) {
+      const index_t b = next.fetch_add(g, std::memory_order_relaxed);
+      if (b >= hi) break;
+      const index_t e = std::min(hi, b + g);
+      try {
+        body(scratch, b, e);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        throw; // captured by the pool, rethrown after the join
+      }
+      ++chunks;
+      items += static_cast<std::uint64_t>(e - b);
+    }
+    if (scope) scope->note_worker(id, timer.seconds(), chunks, items);
+  });
+}
+
+namespace detail {
+struct NoScratch {};
+} // namespace detail
+
+/// Dynamically scheduled `body(begin, end)` over grain-sized chunks.
+template <typename Body>
+void parallel_for_range_dynamic(index_t lo, index_t hi, Body&& body,
+                                ThreadPool& pool = global_pool(),
+                                index_t grain = 0) {
+  parallel_for_range_dynamic_scratch(
+      lo, hi, [](std::size_t) { return detail::NoScratch{}; },
+      [&](detail::NoScratch&, index_t b, index_t e) { body(b, e); }, pool,
+      grain);
+}
+
+/// Dynamically scheduled `body(i)` for each i in [lo, hi).
+template <typename Body>
+void parallel_for_dynamic(index_t lo, index_t hi, Body&& body,
+                          ThreadPool& pool = global_pool(),
+                          index_t grain = 0) {
+  parallel_for_range_dynamic(
+      lo, hi,
+      [&](index_t b, index_t e) {
+        for (index_t i = b; i < e; ++i) body(i);
+      },
+      pool, grain);
+}
+
+/// Dynamically scheduled reduction: combine `body(i)` over [lo, hi) with
+/// `op`, starting from `init` in each worker-local accumulator.  Partials
+/// are combined in worker-id order, so results are deterministic across
+/// runs and pool sizes for associative, commutative `op` (exact integer
+/// sums; floating-point results may differ from a serial loop by rounding).
+template <typename T, typename Body, typename Op>
+T parallel_reduce_dynamic(index_t lo, index_t hi, T init, Body&& body,
+                          Op&& op, ThreadPool& pool = global_pool(),
+                          index_t grain = 0) {
+  const index_t n = hi - lo;
+  if (n <= 0) return init;
+  std::vector<T> partial(pool.size(), init);
+  parallel_for_range_dynamic_scratch(
+      lo, hi, [&](std::size_t id) { return &partial[id]; },
+      [&](T*& slot, index_t b, index_t e) {
+        T acc = *slot;
+        for (index_t i = b; i < e; ++i) acc = op(acc, body(i));
+        *slot = acc;
+      },
+      pool, grain);
   T acc = init;
   for (const T& p : partial) acc = op(acc, p);
   return acc;

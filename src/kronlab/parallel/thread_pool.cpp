@@ -5,6 +5,13 @@
 
 namespace kronlab {
 
+namespace {
+thread_local bool tl_in_parallel = false;
+thread_local ThreadPool* tl_pool_override = nullptr;
+} // namespace
+
+bool ThreadPool::in_parallel_region() { return tl_in_parallel; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
@@ -37,8 +44,11 @@ void ThreadPool::worker_loop(std::size_t id) {
       job = job_;
     }
     try {
+      tl_in_parallel = true;
       (*job)(id);
+      tl_in_parallel = false;
     } catch (...) {
+      tl_in_parallel = false;
       std::lock_guard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
@@ -50,6 +60,10 @@ void ThreadPool::worker_loop(std::size_t id) {
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  if (tl_in_parallel) {
+    fn(0); // nested region: forking would deadlock, degrade to inline
+    return;
+  }
   if (workers_.empty()) {
     fn(0); // single-threaded pool: just run inline
     return;
@@ -65,8 +79,11 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   // The calling thread participates as worker 0.
   std::exception_ptr local_error;
   try {
+    tl_in_parallel = true;
     fn(0);
+    tl_in_parallel = false;
   } catch (...) {
+    tl_in_parallel = false;
     local_error = std::current_exception();
   }
   std::unique_lock lock(mutex_);
@@ -76,7 +93,15 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
+ScopedPoolOverride::ScopedPoolOverride(ThreadPool& pool)
+    : prev_(tl_pool_override) {
+  tl_pool_override = &pool;
+}
+
+ScopedPoolOverride::~ScopedPoolOverride() { tl_pool_override = prev_; }
+
 ThreadPool& global_pool() {
+  if (tl_pool_override != nullptr) return *tl_pool_override;
   static ThreadPool pool([] {
     if (const char* env = std::getenv("KRONLAB_THREADS")) {
       const long n = std::strtol(env, nullptr, 10);

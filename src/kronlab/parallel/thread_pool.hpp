@@ -39,7 +39,17 @@ public:
   /// Run `fn(worker_id)` on every worker (ids 0..size()-1, id 0 is the
   /// calling thread) and wait for all of them.  Rethrows the first captured
   /// worker exception.
+  ///
+  /// Calling run() from inside a parallel region (i.e. from a worker that
+  /// is itself executing a job) would deadlock the fork/join protocol, so
+  /// nested calls degrade to executing `fn(0)` inline on the caller.  The
+  /// parallel_for helpers detect nesting themselves and fall back to their
+  /// serial paths, which cover the whole range.
   void run(const std::function<void(std::size_t)>& fn);
+
+  /// True while the current thread is executing inside a pool job — used
+  /// by the loop helpers to serialize nested parallelism.
+  [[nodiscard]] static bool in_parallel_region();
 
 private:
   void worker_loop(std::size_t id);
@@ -56,7 +66,23 @@ private:
 };
 
 /// Process-wide pool, sized from the environment variable KRONLAB_THREADS if
-/// set, else hardware concurrency.
+/// set, else hardware concurrency.  Respects ScopedPoolOverride.
 ThreadPool& global_pool();
+
+/// Redirect global_pool() on the current thread to a caller-owned pool for
+/// the guard's lifetime.  This is how benchmarks and determinism tests run
+/// library kernels (which default to global_pool()) at a chosen width
+/// without touching the process-wide singleton.  Overrides nest.
+class ScopedPoolOverride {
+public:
+  explicit ScopedPoolOverride(ThreadPool& pool);
+  ~ScopedPoolOverride();
+
+  ScopedPoolOverride(const ScopedPoolOverride&) = delete;
+  ScopedPoolOverride& operator=(const ScopedPoolOverride&) = delete;
+
+private:
+  ThreadPool* prev_;
+};
 
 } // namespace kronlab
