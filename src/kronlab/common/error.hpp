@@ -42,6 +42,20 @@ public:
   explicit io_error(const std::string& what) : error(what) {}
 };
 
+/// A communication deadline expired and the retry budget is exhausted,
+/// but the peer is (as far as the failure detector knows) still alive.
+class timeout_error : public error {
+public:
+  explicit timeout_error(const std::string& what) : error(what) {}
+};
+
+/// A peer rank died (was killed by a fault plan / crashed) while the
+/// protocol still needed it.
+class rank_failed : public error {
+public:
+  explicit rank_failed(const std::string& what) : error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_invalid(const char* cond, const char* file,
                                        int line, const std::string& msg) {

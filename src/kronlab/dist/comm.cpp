@@ -1,5 +1,6 @@
 #include "kronlab/dist/comm.hpp"
 
+#include <atomic>
 #include <exception>
 #include <map>
 #include <thread>
@@ -10,31 +11,145 @@ namespace kronlab::dist {
 
 namespace detail {
 
+namespace {
+
+/// splitmix64 finalizer — cheap stateless hash for per-message fault draws.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double uniform_from(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Thrown to unwind a rank killed at a fault point.  Never escapes run().
+struct killed {};
+
+} // namespace
+
 struct Mailbox {
   std::mutex mutex;
   std::condition_variable cv;
   // (from, tag) → FIFO of messages.
   std::map<std::pair<index_t, int>, std::deque<Message>> queues;
+
+  // Fault-delayed messages parked here until `release_at` deliveries have
+  // happened (or a deadline receive expires and flushes them).
+  struct Delayed {
+    index_t from;
+    int tag;
+    Message msg;
+    std::uint64_t release_at;
+  };
+  std::vector<Delayed> delayed;
+  std::uint64_t delivery_count = 0;
 };
 
 struct Runtime {
-  explicit Runtime(index_t ranks)
-      : size(ranks), mailboxes(static_cast<std::size_t>(ranks)) {}
+  Runtime(index_t ranks, const FaultPlan* fault_plan)
+      : size(ranks),
+        plan(fault_plan),
+        mailboxes(static_cast<std::size_t>(ranks)),
+        dead(static_cast<std::size_t>(ranks)),
+        channel_seq(static_cast<std::size_t>(ranks * ranks)),
+        live_count(ranks) {
+    for (auto& d : dead) d.store(false, std::memory_order_relaxed);
+    for (auto& c : channel_seq) c.store(0, std::memory_order_relaxed);
+  }
 
   const index_t size;
+  const FaultPlan* plan; ///< null when running fault-free
   std::vector<Mailbox> mailboxes;
+  std::vector<std::atomic<bool>> dead;
+  std::vector<std::atomic<std::uint64_t>> channel_seq;
+  std::atomic<std::uint64_t> kill_hits_seen{0};
 
-  // Sense-reversing barrier.
+  std::atomic<std::int64_t> stat_dropped{0};
+  std::atomic<std::int64_t> stat_duplicated{0};
+  std::atomic<std::int64_t> stat_delayed{0};
+
+  // Sense-reversing barrier over *live* ranks.
   std::mutex barrier_mutex;
   std::condition_variable barrier_cv;
   index_t barrier_waiting = 0;
+  index_t live_count;
   std::uint64_t barrier_epoch = 0;
 
+  enum class Action { deliver, drop, duplicate, delay };
+
+  Action decide(index_t from, index_t to, int tag) {
+    if (!plan || !plan->injects_message_faults()) return Action::deliver;
+    if (tag < 0 && plan->exempt_collectives) return Action::deliver;
+    const std::uint64_t seq =
+        channel_seq[static_cast<std::size_t>(from * size + to)].fetch_add(
+            1, std::memory_order_relaxed);
+    const double u = uniform_from(mix64(
+        plan->seed ^ mix64(static_cast<std::uint64_t>(from * size + to)) ^
+        (seq * 0x9e3779b97f4a7c15ULL)));
+    if (u < plan->drop) return Action::drop;
+    if (u < plan->drop + plan->duplicate) return Action::duplicate;
+    if (u < plan->drop + plan->duplicate + plan->delay) return Action::delay;
+    return Action::deliver;
+  }
+
+  // Caller holds box.mutex.
+  static void release_due(Mailbox& box) {
+    auto it = box.delayed.begin();
+    while (it != box.delayed.end()) {
+      if (it->release_at <= box.delivery_count) {
+        box.queues[{it->from, it->tag}].push_back(std::move(it->msg));
+        it = box.delayed.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Caller holds box.mutex.  Deadline expiry: the "late" packets arrive.
+  static bool flush_delayed(Mailbox& box) {
+    if (box.delayed.empty()) return false;
+    for (auto& d : box.delayed) {
+      box.queues[{d.from, d.tag}].push_back(std::move(d.msg));
+    }
+    box.delayed.clear();
+    return true;
+  }
+
   void deliver(index_t to, index_t from, int tag, Message msg) {
+    if (dead[static_cast<std::size_t>(to)].load(std::memory_order_acquire)) {
+      return; // network to a dead host
+    }
+    const Action action = decide(from, to, tag);
+    if (action == Action::drop) {
+      stat_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     auto& box = mailboxes[static_cast<std::size_t>(to)];
     {
       std::lock_guard lock(box.mutex);
-      box.queues[{from, tag}].push_back(std::move(msg));
+      ++box.delivery_count;
+      release_due(box);
+      switch (action) {
+        case Action::duplicate:
+          stat_duplicated.fetch_add(1, std::memory_order_relaxed);
+          box.queues[{from, tag}].push_back(msg);
+          box.queues[{from, tag}].push_back(std::move(msg));
+          break;
+        case Action::delay:
+          stat_delayed.fetch_add(1, std::memory_order_relaxed);
+          box.delayed.push_back(
+              {from, tag, std::move(msg),
+               box.delivery_count +
+                   static_cast<std::uint64_t>(
+                       plan ? plan->delay_deliveries : 0)});
+          break;
+        default:
+          box.queues[{from, tag}].push_back(std::move(msg));
+          break;
+      }
     }
     box.cv.notify_all();
   }
@@ -43,22 +158,100 @@ struct Runtime {
     auto& box = mailboxes[static_cast<std::size_t>(me)];
     std::unique_lock lock(box.mutex);
     auto& q = box.queues[{from, tag}];
-    box.cv.wait(lock, [&] { return !q.empty(); });
+    // A blocking receive from a dead rank would hang forever — surface it
+    // as the typed failure instead (mark_dead wakes all mailbox waiters).
+    const auto sender_dead = [&] {
+      return dead[static_cast<std::size_t>(from)].load(
+          std::memory_order_acquire);
+    };
+    box.cv.wait(lock, [&] { return !q.empty() || sender_dead(); });
+    if (q.empty()) {
+      throw rank_failed("rank " + std::to_string(from) +
+                        " died while rank " + std::to_string(me) +
+                        " was blocked receiving from it");
+    }
     Message msg = std::move(q.front());
     q.pop_front();
     return msg;
   }
 
+  std::optional<Message> take_deadline(index_t me, index_t from, int tag,
+                                       std::chrono::milliseconds timeout) {
+    auto& box = mailboxes[static_cast<std::size_t>(me)];
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock lock(box.mutex);
+    auto& q = box.queues[{from, tag}];
+    if (!box.cv.wait_until(lock, deadline, [&] { return !q.empty(); })) {
+      flush_delayed(box);
+      if (q.empty()) return std::nullopt;
+    }
+    Message msg = std::move(q.front());
+    q.pop_front();
+    return msg;
+  }
+
+  std::optional<std::pair<index_t, Message>> take_any(
+      index_t me, int tag, std::chrono::milliseconds timeout) {
+    auto& box = mailboxes[static_cast<std::size_t>(me)];
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock lock(box.mutex);
+    const auto find_nonempty =
+        [&]() -> std::deque<Message>* {
+      for (auto& [key, q] : box.queues) {
+        if (key.second == tag && !q.empty()) return &q;
+      }
+      return nullptr;
+    };
+    index_t from = -1;
+    const auto pred = [&] {
+      for (auto& [key, q] : box.queues) {
+        if (key.second == tag && !q.empty()) {
+          from = key.first;
+          return true;
+        }
+      }
+      return false;
+    };
+    if (!box.cv.wait_until(lock, deadline, pred)) {
+      flush_delayed(box);
+      if (!pred()) return std::nullopt;
+    }
+    auto* q = find_nonempty();
+    Message msg = std::move(q->front());
+    q->pop_front();
+    return std::make_pair(from, std::move(msg));
+  }
+
   void barrier() {
     std::unique_lock lock(barrier_mutex);
     const std::uint64_t my_epoch = barrier_epoch;
-    if (++barrier_waiting == size) {
+    if (++barrier_waiting >= live_count) {
       barrier_waiting = 0;
       ++barrier_epoch;
       barrier_cv.notify_all();
     } else {
       barrier_cv.wait(lock, [&] { return barrier_epoch != my_epoch; });
     }
+  }
+
+  Comm make_comm(index_t r) { return Comm(this, r); }
+
+  void mark_dead(index_t r) {
+    dead[static_cast<std::size_t>(r)].store(true, std::memory_order_release);
+    {
+      std::lock_guard lock(barrier_mutex);
+      --live_count;
+      // If everyone still alive is already parked at the barrier, release
+      // them — the dead rank will never arrive.
+      if (live_count > 0 && barrier_waiting >= live_count) {
+        barrier_waiting = 0;
+        ++barrier_epoch;
+        barrier_cv.notify_all();
+      }
+    }
+    barrier_cv.notify_all();
+    // Wake any deadline receives so they re-check liveness promptly.
+    for (auto& box : mailboxes) box.cv.notify_all();
   }
 };
 
@@ -76,12 +269,66 @@ Message Comm::recv(index_t from, int tag) {
   return rt_->take(rank_, from, tag);
 }
 
+std::optional<Message> Comm::recv_deadline(index_t from, int tag,
+                                           std::chrono::milliseconds timeout) {
+  KRONLAB_REQUIRE(from >= 0 && from < size(), "recv: rank out of range");
+  return rt_->take_deadline(rank_, from, tag, timeout);
+}
+
+std::optional<std::pair<index_t, Message>> Comm::recv_any(
+    int tag, std::chrono::milliseconds timeout) {
+  return rt_->take_any(rank_, tag, timeout);
+}
+
+bool Comm::rank_alive(index_t r) const {
+  KRONLAB_REQUIRE(r >= 0 && r < size(), "rank out of range");
+  return !rt_->dead[static_cast<std::size_t>(r)].load(
+      std::memory_order_acquire);
+}
+
+std::vector<index_t> Comm::live_ranks() const {
+  std::vector<index_t> live;
+  for (index_t r = 0; r < size(); ++r) {
+    if (rank_alive(r)) live.push_back(r);
+  }
+  return live;
+}
+
+void Comm::fault_point(const char* point) {
+  const FaultPlan* plan = rt_->plan;
+  if (!plan || plan->kill_rank != rank_ || plan->kill_point != point) return;
+  const std::uint64_t hit =
+      rt_->kill_hits_seen.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit == plan->kill_hits) throw detail::killed{};
+}
+
+FaultStats Comm::fault_stats() const {
+  return {rt_->stat_dropped.load(std::memory_order_relaxed),
+          rt_->stat_duplicated.load(std::memory_order_relaxed),
+          rt_->stat_delayed.load(std::memory_order_relaxed)};
+}
+
 void Comm::barrier() { rt_->barrier(); }
 
 namespace {
 constexpr int kReduceTag = -1;
 constexpr int kGatherTag = -2;
 constexpr int kAlltoallTag = -3;
+constexpr int kMemberReduceTag = -4;
+constexpr int kMemberGatherTag = -5;
+
+void require_membership(const Comm& comm, const std::vector<index_t>& m) {
+  KRONLAB_REQUIRE(!m.empty(), "member collective: empty member set");
+  bool found = false;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i > 0) {
+      KRONLAB_REQUIRE(m[i] > m[i - 1],
+                      "member collective: members must be ascending");
+    }
+    found |= (m[i] == comm.rank());
+  }
+  KRONLAB_REQUIRE(found, "member collective: caller not in member set");
+}
 } // namespace
 
 word_t Comm::allreduce_sum(word_t value) {
@@ -101,6 +348,24 @@ word_t Comm::allreduce_sum(word_t value) {
   return recv(0, kReduceTag).at(0);
 }
 
+word_t Comm::allreduce_sum(word_t value,
+                           const std::vector<index_t>& members) {
+  require_membership(*this, members);
+  const index_t root = members.front();
+  if (rank_ == root) {
+    word_t total = value;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      total += recv(members[i], kMemberReduceTag).at(0);
+    }
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      send(members[i], kMemberReduceTag, {total});
+    }
+    return total;
+  }
+  send(root, kMemberReduceTag, {value});
+  return recv(root, kMemberReduceTag).at(0);
+}
+
 std::vector<word_t> Comm::allgather(word_t value) {
   if (rank_ == 0) {
     std::vector<word_t> all(static_cast<std::size_t>(size()));
@@ -116,6 +381,25 @@ std::vector<word_t> Comm::allgather(word_t value) {
   send(0, kGatherTag, {value});
   auto msg = recv(0, kGatherTag);
   return msg;
+}
+
+std::vector<word_t> Comm::allgather(word_t value,
+                                    const std::vector<index_t>& members) {
+  require_membership(*this, members);
+  const index_t root = members.front();
+  if (rank_ == root) {
+    std::vector<word_t> all(members.size());
+    all[0] = value;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      all[i] = recv(members[i], kMemberGatherTag).at(0);
+    }
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      send(members[i], kMemberGatherTag, Message(all));
+    }
+    return all;
+  }
+  send(root, kMemberGatherTag, {value});
+  return recv(root, kMemberGatherTag);
 }
 
 std::vector<Message> Comm::alltoall(std::vector<Message> outgoing) {
@@ -135,9 +419,17 @@ std::vector<Message> Comm::alltoall(std::vector<Message> outgoing) {
   return incoming;
 }
 
-void run(index_t ranks, const std::function<void(Comm&)>& fn) {
+namespace {
+
+void run_impl(index_t ranks, const FaultPlan* plan,
+              const std::function<void(Comm&)>& fn) {
   KRONLAB_REQUIRE(ranks >= 1, "need at least one rank");
-  detail::Runtime rt(ranks);
+  if (plan) {
+    KRONLAB_REQUIRE(plan->drop + plan->duplicate + plan->delay <= 1.0,
+                    "fault probabilities must sum to <= 1");
+    KRONLAB_REQUIRE(plan->kill_rank < ranks, "kill_rank out of range");
+  }
+  detail::Runtime rt(ranks, plan);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks));
   std::mutex error_mutex;
@@ -145,16 +437,32 @@ void run(index_t ranks, const std::function<void(Comm&)>& fn) {
   for (index_t r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
       try {
-        Comm comm(&rt, r);
+        Comm comm = rt.make_comm(r);
         fn(comm);
+      } catch (const detail::killed&) {
+        rt.mark_dead(r); // planned death, not an error
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        rt.mark_dead(r); // don't leave survivors stuck at barriers
       }
     });
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+} // namespace
+
+void run(index_t ranks, const std::function<void(Comm&)>& fn) {
+  run_impl(ranks, nullptr, fn);
+}
+
+void run(index_t ranks, const FaultPlan& plan,
+         const std::function<void(Comm&)>& fn) {
+  run_impl(ranks, &plan, fn);
 }
 
 } // namespace kronlab::dist

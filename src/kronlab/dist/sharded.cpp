@@ -1,11 +1,17 @@
 #include "kronlab/dist/sharded.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/grb/binary_io.hpp"
 #include "kronlab/grb/coo.hpp"
 #include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/kron/stream.hpp"
 
 namespace kronlab::dist {
 
@@ -25,20 +31,64 @@ Shard generate_shard(const kron::BipartiteKronecker& kp,
   return shard;
 }
 
+std::string checkpoint_path(const CheckpointConfig& cfg, index_t rank) {
+  return cfg.dir + "/kronlab-shard-" + std::to_string(rank) + ".ckpt";
+}
+
 namespace {
 
-/// Tags for the two exchange phases.
-constexpr int kRequestTag = 1;
-constexpr int kRowsTag = 2;
+using clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
 
-/// Owner of global row v given the rank-ordered cut vector.
-index_t owner_of(const std::vector<word_t>& row_begins, index_t v) {
-  // row_begins[r] = first row of rank r; ranks cover [0, n) in order.
-  index_t lo = 0;
-  index_t hi = static_cast<index_t>(row_begins.size()) - 1;
+/// Snapshot metadata layout: {version, n, left_lo, left_hi, left_done}.
+constexpr std::int64_t kCkptVersion = 1;
+constexpr std::size_t kCkptMetaWords = 5;
+
+/// Exchange protocol: one tag, typed by the second payload word.  The
+/// first word is the exchange epoch (per-rank counter advanced in
+/// collective order), which sequence-numbers every message so duplicates
+/// and stragglers from earlier exchanges are absorbed.
+constexpr int kExchTag = 10;
+constexpr word_t kMsgReq = 0;  ///< [epoch, REQ, ids...]
+constexpr word_t kMsgRows = 1; ///< [epoch, ROWS, {v, deg, cols...}...]
+constexpr word_t kMsgAck = 2;  ///< [epoch, ACK]
+
+/// Quiescence announcements ride the reliable control channel (negative
+/// tag): a rank that finished its own requests and had its replies acked
+/// may still owe a re-ack for a peer's resend (its last ACK could have
+/// been dropped), so it lingers in the event loop — serving stragglers —
+/// until every live peer has announced DONE.
+constexpr int kExchCtlTag = -6;
+constexpr word_t kMsgDone = 3; ///< [epoch, DONE]
+
+/// Stored entries C owns for left-factor rows [lo, hi): the factor-space
+/// expectation Σ_{i∈[lo,hi)} deg_M(i) · nnz(B) used by self-verification.
+count_t expected_entries(const kron::BipartiteKronecker& kp, index_t lo,
+                         index_t hi) {
+  count_t m_entries = 0;
+  for (index_t i = lo; i < hi; ++i) {
+    m_entries += kp.left().row_degree(i);
+  }
+  return m_entries * kp.right().nnz();
+}
+
+/// Append every stored entry of `csr` into `coo`, shifting rows.
+void append_csr_rows(grb::Coo<count_t>& coo, const grb::Csr<count_t>& csr,
+                     index_t row_offset) {
+  for (index_t r = 0; r < csr.nrows(); ++r) {
+    for (const index_t c : csr.row_cols(r)) {
+      coo.push(r + row_offset, c, 1);
+    }
+  }
+}
+
+/// Member position owning global row v given member-ordered row begins.
+std::size_t owner_pos(const std::vector<word_t>& row_begins, index_t v) {
+  std::size_t lo = 0;
+  std::size_t hi = row_begins.size() - 1;
   while (lo < hi) {
-    const index_t mid = (lo + hi + 1) / 2;
-    if (row_begins[static_cast<std::size_t>(mid)] <= v) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (row_begins[mid] <= static_cast<word_t>(v)) {
       lo = mid;
     } else {
       hi = mid - 1;
@@ -47,61 +97,364 @@ index_t owner_of(const std::vector<word_t>& row_begins, index_t v) {
   return lo;
 }
 
+milliseconds backed_off(milliseconds t, const RetryConfig& cfg) {
+  const auto next = milliseconds(
+      static_cast<milliseconds::rep>(static_cast<double>(t.count()) *
+                                     cfg.backoff));
+  return std::min(std::max(next, milliseconds(1)), cfg.max_backoff);
+}
+
+/// Worst-case per-peer wait: every attempt's deadline, plus slack for
+/// peers that started the exchange late.
+milliseconds retry_horizon(const RetryConfig& cfg) {
+  milliseconds total{0};
+  milliseconds t = cfg.timeout;
+  for (int a = 0; a <= cfg.max_retries; ++a) {
+    total += t;
+    t = backed_off(t, cfg);
+  }
+  return total * 3;
+}
+
+/// Per-peer protocol state for one exchange epoch.
+struct PeerState {
+  index_t rank = -1;
+  // Requester side: waiting on this peer's reply to our request.
+  bool have_reply = false;
+  int req_attempts = 0;
+  milliseconds req_timeout{0};
+  clock::time_point req_deadline;
+  Message request; // cached for resend
+  // Responder side: waiting on this peer's ack of our reply.
+  bool served = false;
+  bool acked = false;
+  int reply_attempts = 0;
+  milliseconds ack_timeout{0};
+  clock::time_point ack_deadline;
+  Message reply; // cached for idempotent re-serve
+};
+
+/// Serialize the owned subset of `ids` as a ROWS message.
+Message build_reply(const Shard& shard, word_t epoch,
+                    std::span<const word_t> ids, bool require_owned) {
+  Message reply;
+  reply.push_back(epoch);
+  reply.push_back(kMsgRows);
+  for (const word_t vw : ids) {
+    const auto v = static_cast<index_t>(vw);
+    if (!shard.owns(v)) {
+      KRONLAB_REQUIRE(!require_owned, "request routed to wrong owner");
+      continue; // stale-epoch request predating a row reassignment
+    }
+    const auto cols = shard.rows.row_cols(shard.local(v));
+    reply.push_back(v);
+    reply.push_back(static_cast<word_t>(cols.size()));
+    reply.insert(reply.end(), cols.begin(), cols.end());
+  }
+  return reply;
+}
+
+/// The idempotent request/reply/ack ghost-row exchange.  Returns the
+/// ghost cache (global row id → column list) for every remote row in
+/// `needed`; `needed` is indexed by member position.
+std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
+    Comm& comm, const Shard& shard, const std::vector<index_t>& members,
+    const std::vector<std::vector<index_t>>& needed, word_t epoch,
+    const RetryConfig& cfg, ExchangeStats& stats) {
+  std::unordered_map<index_t, std::vector<index_t>> ghost;
+  std::vector<PeerState> peers;
+  std::unordered_map<index_t, std::size_t> peer_pos;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == comm.rank()) continue;
+    PeerState ps;
+    ps.rank = members[i];
+    ps.request.push_back(epoch);
+    ps.request.push_back(kMsgReq);
+    ps.request.insert(ps.request.end(), needed[i].begin(), needed[i].end());
+    peers.push_back(std::move(ps));
+    peer_pos[members[i]] = peers.size() - 1;
+  }
+  if (peers.empty()) return ghost;
+
+  const auto start = clock::now();
+  const auto hard_deadline = start + retry_horizon(cfg);
+  for (auto& ps : peers) {
+    comm.send(ps.rank, kExchTag, ps.request);
+    ps.req_timeout = cfg.timeout;
+    ps.req_deadline = clock::now() + ps.req_timeout;
+  }
+
+  std::size_t awaiting_replies = peers.size();
+  std::size_t awaiting_acks = peers.size();
+  bool done_sent = false;
+  std::vector<bool> done_from(peers.size(), false);
+  std::size_t done_count = 0;
+  const auto announce_done = [&] {
+    if (done_sent) return;
+    for (const auto& ps : peers) {
+      comm.send(ps.rank, kExchCtlTag, {epoch, kMsgDone});
+    }
+    done_sent = true;
+  };
+
+  const auto handle = [&](index_t from, Message&& msg) {
+    KRONLAB_REQUIRE(msg.size() >= 2, "malformed exchange message");
+    const word_t msg_epoch = msg[0];
+    const word_t type = msg[1];
+    const auto it = peer_pos.find(from);
+    PeerState* ps = it != peer_pos.end() ? &peers[it->second] : nullptr;
+    if (type == kMsgReq) {
+      const std::span<const word_t> ids(msg.data() + 2, msg.size() - 2);
+      if (ps && msg_epoch == epoch) {
+        if (!ps->served) {
+          ps->reply = build_reply(shard, epoch, ids, /*require_owned=*/true);
+          ps->served = true;
+          ps->ack_timeout = cfg.timeout;
+          ps->ack_deadline = clock::now() + ps->ack_timeout;
+        } else {
+          ++stats.dup_requests;
+        }
+        comm.send(from, kExchTag, ps->reply);
+      } else {
+        // Straggler from an earlier exchange (or a non-member): serve
+        // whatever we still own, stamped with *its* epoch — the sender
+        // absorbs or ignores it by sequence number.
+        comm.send(from, kExchTag,
+                  build_reply(shard, msg_epoch, ids,
+                              /*require_owned=*/false));
+      }
+    } else if (type == kMsgRows) {
+      if (ps && msg_epoch == epoch && !ps->have_reply) {
+        std::size_t i = 2;
+        while (i < msg.size()) {
+          KRONLAB_REQUIRE(i + 1 < msg.size(), "malformed ROWS message");
+          const auto v = static_cast<index_t>(msg[i++]);
+          const auto deg = static_cast<std::size_t>(msg[i++]);
+          KRONLAB_REQUIRE(i + deg <= msg.size(), "malformed ROWS message");
+          std::vector<index_t> cols(deg);
+          for (std::size_t k = 0; k < deg; ++k) {
+            cols[k] = static_cast<index_t>(msg[i++]);
+          }
+          ghost.emplace(v, std::move(cols));
+        }
+        ps->have_reply = true;
+        --awaiting_replies;
+      } else {
+        ++stats.dup_replies;
+      }
+      // Always (re-)ack with the message's own epoch so a responder stuck
+      // on a lost ack from an earlier exchange can retire it.
+      comm.send(from, kExchTag, {msg_epoch, kMsgAck});
+    } else if (type == kMsgAck) {
+      if (ps && msg_epoch == epoch && ps->served && !ps->acked) {
+        ps->acked = true;
+        --awaiting_acks;
+      }
+    } else {
+      KRONLAB_REQUIRE(false, "unknown exchange message type");
+    }
+  };
+
+  while (awaiting_replies > 0 || awaiting_acks > 0 ||
+         done_count < peers.size()) {
+    if (awaiting_replies == 0 && awaiting_acks == 0) announce_done();
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      if (done_from[i]) continue;
+      while (const auto d = comm.recv_deadline(peers[i].rank, kExchCtlTag,
+                                               milliseconds(0))) {
+        if (d->size() >= 2 && (*d)[0] == epoch && (*d)[1] == kMsgDone) {
+          done_from[i] = true;
+          ++done_count;
+          break;
+        } // stale epoch: a straggler from an earlier exchange, discard
+      }
+      if (!done_from[i] && !comm.rank_alive(peers[i].rank)) {
+        done_from[i] = true; // a dead peer will never announce
+        ++done_count;
+      }
+    }
+    if (awaiting_replies == 0 && awaiting_acks == 0 &&
+        done_count >= peers.size()) {
+      break;
+    }
+    const auto now = clock::now();
+    if (now > hard_deadline) {
+      std::string detail;
+      for (std::size_t i = 0; i < peers.size(); ++i) {
+        const auto& ps = peers[i];
+        detail += " peer" + std::to_string(ps.rank) +
+                  "[reply=" + std::to_string(ps.have_reply) +
+                  ",served=" + std::to_string(ps.served) +
+                  ",acked=" + std::to_string(ps.acked) +
+                  ",done=" + std::to_string(done_from[i] ? 1 : 0) + "]";
+      }
+      throw timeout_error("ghost-row exchange did not quiesce within the "
+                          "retry horizon (rank " +
+                          std::to_string(comm.rank()) + ":" + detail + ")");
+    }
+    // Earliest pending deadline, capped so liveness is re-checked often.
+    auto next = now + cfg.timeout;
+    for (const auto& ps : peers) {
+      if (!ps.have_reply) next = std::min(next, ps.req_deadline);
+      if (ps.served && !ps.acked) next = std::min(next, ps.ack_deadline);
+    }
+    const auto wait = std::chrono::duration_cast<milliseconds>(
+        std::max(next - clock::now(), clock::duration::zero()));
+    if (auto got = comm.recv_any(kExchTag, wait)) {
+      handle(got->first, std::move(got->second));
+      continue;
+    }
+    // Deadline sweep.
+    const auto t = clock::now();
+    for (auto& ps : peers) {
+      if (!ps.have_reply && t >= ps.req_deadline) {
+        if (!comm.rank_alive(ps.rank)) {
+          throw rank_failed("rank " + std::to_string(ps.rank) +
+                            " died while rank " +
+                            std::to_string(comm.rank()) +
+                            " still needed its ghost rows");
+        }
+        stats.backoff_seconds +=
+            static_cast<double>(ps.req_timeout.count()) / 1e3;
+        if (++ps.req_attempts > cfg.max_retries) {
+          throw timeout_error(
+              "ghost-row request to live rank " + std::to_string(ps.rank) +
+              " unanswered after " + std::to_string(cfg.max_retries) +
+              " retries (rank " + std::to_string(comm.rank()) + ")");
+        }
+        ++stats.retries;
+        comm.send(ps.rank, kExchTag, ps.request);
+        ps.req_timeout = backed_off(ps.req_timeout, cfg);
+        ps.req_deadline = t + ps.req_timeout;
+      }
+      if (ps.served && !ps.acked && t >= ps.ack_deadline) {
+        if (!comm.rank_alive(ps.rank)) {
+          ps.acked = true; // peer died; nobody left to ack
+          --awaiting_acks;
+          continue;
+        }
+        stats.backoff_seconds +=
+            static_cast<double>(ps.ack_timeout.count()) / 1e3;
+        if (++ps.reply_attempts > cfg.max_retries) {
+          throw timeout_error(
+              "reply to live rank " + std::to_string(ps.rank) +
+              " never acked after " + std::to_string(cfg.max_retries) +
+              " resends (rank " + std::to_string(comm.rank()) + ")");
+        }
+        ++stats.reply_resends;
+        comm.send(ps.rank, kExchTag, ps.reply);
+        ps.ack_timeout = backed_off(ps.ack_timeout, cfg);
+        ps.ack_deadline = t + ps.ack_timeout;
+      }
+      if (!ps.served && !ps.acked && !comm.rank_alive(ps.rank)) {
+        ps.acked = true; // peer died before ever requesting
+        --awaiting_acks;
+      }
+    }
+  }
+  // Local quiescence can be reached mid-iteration (handle() or the sweep
+  // clears the last pending ack and the loop condition re-evaluates before
+  // the top-of-loop announcement runs) — peers are still waiting for it.
+  announce_done();
+  return ghost;
+}
+
 } // namespace
 
-count_t distributed_global_butterflies(Comm& comm, const Shard& shard) {
-  const index_t p = comm.size();
-  // Every rank learns the global row layout.
-  const auto row_begins = comm.allgather(shard.row_begin);
+Shard generate_shard_checkpointed(Comm& comm,
+                                  const kron::BipartiteKronecker& kp,
+                                  const kron::PartitionedStream& ps,
+                                  const CheckpointConfig& ckpt,
+                                  count_t* checkpoints_written) {
+  const auto [llo, lhi] = ps.owned_left_rows(comm.rank());
+  const index_t nb = kp.right().nrows();
+  Shard shard;
+  shard.n = kp.num_vertices();
+  shard.row_begin = llo * nb;
+  shard.row_end = lhi * nb;
+  grb::Coo<count_t> coo((lhi - llo) * nb, shard.n);
+  coo.reserve(ps.entries_of(comm.rank()));
+  const kron::EdgeStream es(kp);
+  const index_t step = std::max<index_t>(1, ckpt.interval_left_rows);
+  for (index_t i = llo; i < lhi; i += step) {
+    const index_t end = std::min(lhi, i + step);
+    es.for_each_entry_rows(i, end, [&](index_t p, index_t q) {
+      coo.push(p - shard.row_begin, q, 1);
+    });
+    if (ckpt.enabled() && end < lhi) {
+      grb::Coo<count_t> partial((end - llo) * nb, shard.n);
+      partial.reserve(coo.nnz());
+      for (const auto& t : coo.entries()) partial.push(t.row, t.col, t.val);
+      grb::SnapshotEnvelope snap;
+      snap.meta = {kCkptVersion, shard.n, llo, lhi, end};
+      snap.payload = grb::Csr<count_t>::from_coo(partial);
+      grb::write_snapshot_file(checkpoint_path(ckpt, comm.rank()), snap);
+      if (checkpoints_written) ++*checkpoints_written;
+    }
+    // A fault plan can kill this rank here — "mid-generation", after the
+    // checkpoint for the completed blocks has been persisted.
+    comm.fault_point("gen-block");
+  }
+  shard.rows = grb::Csr<count_t>::from_coo(coo);
+  return shard;
+}
+
+count_t distributed_global_butterflies(Comm& comm, const Shard& shard,
+                                       const RetryConfig& retry,
+                                       ExchangeStats* stats) {
+  const word_t epoch = comm.next_epoch();
+  const auto members = comm.live_ranks();
+  const auto mcount = members.size();
+
+  // Every member learns the member-ordered global row layout; validate
+  // that the live shards really cover [0, n) contiguously.
+  const auto row_begins = comm.allgather(shard.row_begin, members);
+  const auto row_ends = comm.allgather(shard.row_end, members);
+  KRONLAB_REQUIRE(row_begins.front() == 0,
+                  "live shards do not start at row 0");
+  for (std::size_t i = 0; i < mcount; ++i) {
+    const word_t next = i + 1 < mcount
+                            ? row_begins[i + 1]
+                            : static_cast<word_t>(shard.n);
+    KRONLAB_REQUIRE(row_ends[i] == next,
+                    "live shards do not cover the row space contiguously");
+  }
+
+  // A fault plan can kill a rank here — after membership agreement, right
+  // before it starts serving ghost rows — to exercise the rank_failed
+  // path: survivors retry, see the death, and surface the typed error.
+  comm.fault_point("exchange-serve");
 
   // ---- phase 1: figure out which remote rows this rank needs ----------
   // Wedge counting of owned v walks rows of every neighbor j of v.
-  std::vector<std::unordered_set<index_t>> needed(
-      static_cast<std::size_t>(p));
+  std::vector<std::unordered_set<index_t>> needed_sets(mcount);
   for (index_t lv = 0; lv < shard.rows.nrows(); ++lv) {
     for (const index_t j : shard.rows.row_cols(lv)) {
       if (!shard.owns(j)) {
-        needed[static_cast<std::size_t>(owner_of(row_begins, j))].insert(j);
+        needed_sets[owner_pos(row_begins, j)].insert(j);
       }
     }
   }
-  std::vector<Message> requests(static_cast<std::size_t>(p));
-  for (index_t r = 0; r < p; ++r) {
-    requests[static_cast<std::size_t>(r)]
-        .assign(needed[static_cast<std::size_t>(r)].begin(),
-                needed[static_cast<std::size_t>(r)].end());
+  std::vector<std::vector<index_t>> needed(mcount);
+  for (std::size_t i = 0; i < mcount; ++i) {
+    needed[i].assign(needed_sets[i].begin(), needed_sets[i].end());
   }
-  const auto incoming_requests = comm.alltoall(std::move(requests));
 
-  // ---- phase 2: serve the requested rows ------------------------------
-  std::vector<Message> replies(static_cast<std::size_t>(p));
-  for (index_t r = 0; r < p; ++r) {
-    Message& reply = replies[static_cast<std::size_t>(r)];
-    for (const word_t vw : incoming_requests[static_cast<std::size_t>(r)]) {
-      const auto v = static_cast<index_t>(vw);
-      KRONLAB_REQUIRE(shard.owns(v), "request routed to wrong owner");
-      const auto cols = shard.rows.row_cols(shard.local(v));
-      reply.push_back(v);
-      reply.push_back(static_cast<word_t>(cols.size()));
-      reply.insert(reply.end(), cols.begin(), cols.end());
+  // ---- phase 2: fault-tolerant ghost-row exchange ---------------------
+  ExchangeStats local_stats;
+  const auto ghost = exchange_ghost_rows(comm, shard, members, needed,
+                                         epoch, retry, local_stats);
+  if (stats) *stats = local_stats;
+  // The exchange quiesced, but a member may have died after serving us;
+  // the reduction below needs every member, so surface it as a typed
+  // failure instead of hanging.
+  for (const index_t r : members) {
+    if (!comm.rank_alive(r)) {
+      throw rank_failed("rank " + std::to_string(r) +
+                        " died during the ghost-row exchange");
     }
   }
-  const auto incoming_rows = comm.alltoall(std::move(replies));
 
-  // Ghost cache: global row id → column list.
-  std::unordered_map<index_t, std::vector<index_t>> ghost;
-  for (const Message& msg : incoming_rows) {
-    std::size_t i = 0;
-    while (i < msg.size()) {
-      const auto v = static_cast<index_t>(msg[i++]);
-      const auto deg = static_cast<std::size_t>(msg[i++]);
-      std::vector<index_t> cols(deg);
-      for (std::size_t k = 0; k < deg; ++k) {
-        cols[k] = static_cast<index_t>(msg[i++]);
-      }
-      ghost.emplace(v, std::move(cols));
-    }
-  }
   const auto row_of = [&](index_t j) -> std::span<const index_t> {
     if (shard.owns(j)) return shard.rows.row_cols(shard.local(j));
     const auto it = ghost.find(j);
@@ -131,26 +484,170 @@ count_t distributed_global_butterflies(Comm& comm, const Shard& shard) {
   }
 
   // Σ_v s_v = 4 · #C4.
-  return comm.allreduce_sum(local_sum) / 4;
+  return comm.allreduce_sum(local_sum, members) / 4;
 }
 
-count_t distributed_ground_truth_squares(
-    Comm& comm, const kron::BipartiteKronecker& kp,
-    const kron::PartitionedStream& ps) {
+namespace {
+
+count_t ground_truth_squares_impl(Comm& comm,
+                                  const kron::BipartiteKronecker& kp,
+                                  index_t lo, index_t hi,
+                                  const std::vector<index_t>* members) {
   // Rank-local share of Σ_p s_C(p): the factored sum restricted to owned
   // left-factor rows — Σ_s c_s · (Σ_{i owned} g_s[i]) · sum(h_s).
   const auto sv = kron::vertex_squares(kp);
-  const auto [lo, hi] = ps.owned_left_rows(comm.rank());
   count_t local = 0;
   for (const auto& term : sv.terms()) {
     count_t g_part = 0;
     for (index_t i = lo; i < hi; ++i) g_part += term.g[i];
     local += term.coeff * g_part * grb::reduce(term.h);
   }
-  const count_t total = comm.allreduce_sum(local);
+  const count_t total = members ? comm.allreduce_sum(local, *members)
+                                : comm.allreduce_sum(local);
   KRONLAB_DBG_ASSERT(total % (sv.divisor() * 4) == 0,
                      "factored sum not divisible");
   return total / sv.divisor() / 4;
+}
+
+} // namespace
+
+count_t distributed_ground_truth_squares(
+    Comm& comm, const kron::BipartiteKronecker& kp,
+    const kron::PartitionedStream& ps) {
+  const auto [lo, hi] = ps.owned_left_rows(comm.rank());
+  return ground_truth_squares_impl(comm, kp, lo, hi, nullptr);
+}
+
+count_t distributed_ground_truth_squares(
+    Comm& comm, const kron::BipartiteKronecker& kp,
+    std::pair<index_t, index_t> owned_left_rows,
+    const std::vector<index_t>& members) {
+  return ground_truth_squares_impl(comm, kp, owned_left_rows.first,
+                                   owned_left_rows.second, &members);
+}
+
+RecoveryReport supervised_global_butterflies(
+    Comm& comm, const kron::BipartiteKronecker& kp,
+    const kron::PartitionedStream& ps, const CheckpointConfig& ckpt,
+    const RetryConfig& retry) {
+  KRONLAB_REQUIRE(ps.parts() == comm.size(),
+                  "partition width must equal the rank count");
+  const index_t me = comm.rank();
+  const index_t nb = kp.right().nrows();
+
+  // ---- phase 1: checkpointed generation (kills happen in here) --------
+  count_t ckpts_written = 0;
+  Shard shard = generate_shard_checkpointed(comm, kp, ps, ckpt,
+                                            &ckpts_written);
+  auto [my_llo, my_lhi] = ps.owned_left_rows(me);
+
+  // A dead rank never reaches this barrier; the runtime releases it for
+  // the survivors once the death is recorded.
+  comm.barrier();
+
+  // ---- phase 2: supervisor view — detect deaths, reassign rows --------
+  const auto members = comm.live_ranks();
+  KRONLAB_REQUIRE(members.front() == 0, "supervisor (rank 0) must survive");
+  count_t ckpts_restored = 0;
+  count_t rows_reassigned = 0;
+  if (static_cast<index_t>(members.size()) < comm.size()) {
+    // Ownership heals by extension: each survivor's range grows to the
+    // next survivor's begin, absorbing the dead ranks in between.
+    const auto pos = static_cast<std::size_t>(
+        std::lower_bound(members.begin(), members.end(), me) -
+        members.begin());
+    const index_t new_lhi =
+        pos + 1 < members.size()
+            ? ps.owned_left_rows(members[pos + 1]).first
+            : kp.left().nrows();
+    if (new_lhi > my_lhi) {
+      grb::Coo<count_t> coo((new_lhi - my_llo) * nb, shard.n);
+      coo.reserve(expected_entries(kp, my_llo, new_lhi));
+      append_csr_rows(coo, shard.rows, 0);
+      const kron::EdgeStream es(kp);
+      for (index_t d = me + 1; d < comm.size() && !comm.rank_alive(d);
+           ++d) {
+        const auto [dlo, dhi] = ps.owned_left_rows(d);
+        index_t done = dlo; // left rows recovered from the checkpoint
+        if (ckpt.enabled()) {
+          try {
+            const auto snap =
+                grb::read_snapshot_file(checkpoint_path(ckpt, d));
+            const bool meta_ok =
+                snap.meta.size() == kCkptMetaWords &&
+                snap.meta[0] == kCkptVersion && snap.meta[1] == shard.n &&
+                snap.meta[2] == dlo && snap.meta[3] == dhi &&
+                snap.meta[4] > dlo && snap.meta[4] <= dhi;
+            if (meta_ok &&
+                snap.payload.nrows() == (snap.meta[4] - dlo) * nb &&
+                snap.payload.nnz() ==
+                    expected_entries(kp, dlo, snap.meta[4])) {
+              append_csr_rows(coo, snap.payload, (dlo - my_llo) * nb);
+              done = snap.meta[4];
+              ++ckpts_restored;
+            }
+          } catch (const io_error&) {
+            // Missing or corrupt (checksum-failed) checkpoint: fall back
+            // to regenerating the dead rank's whole range from factors.
+          }
+        }
+        es.for_each_entry_rows(done, dhi, [&](index_t p, index_t q) {
+          coo.push(p - my_llo * nb, q, 1);
+        });
+        rows_reassigned += dhi - dlo;
+      }
+      my_lhi = new_lhi;
+      shard.row_end = new_lhi * nb;
+      shard.rows = grb::Csr<count_t>::from_coo(coo);
+    }
+  }
+
+  // ---- phase 3: resilient exchange + distributed count ----------------
+  ExchangeStats xs;
+  const count_t counted =
+      distributed_global_butterflies(comm, shard, retry, &xs);
+
+  // ---- phase 4: ground-truth self-verification ------------------------
+  // The factored oracle (Thms 3–5) is cheap enough to re-evaluate after
+  // every recovery: a corrupted or mis-recovered shard cannot produce a
+  // bit-identical global count *and* a matching entry census.
+  const count_t truth = distributed_ground_truth_squares(
+      comm, kp, {my_llo, my_lhi}, members);
+  const bool local_entries_ok =
+      shard.rows.nnz() == expected_entries(kp, my_llo, my_lhi);
+  const word_t bad_shards =
+      comm.allreduce_sum(local_entries_ok ? 0 : 1, members);
+
+  // ---- report: aggregate protocol counters across survivors -----------
+  comm.barrier(); // quiesce before reading global fault counters
+  RecoveryReport report;
+  report.ranks = comm.size();
+  for (index_t r = 0; r < comm.size(); ++r) {
+    if (!comm.rank_alive(r)) report.dead_ranks.push_back(r);
+  }
+  report.faults = comm.fault_stats();
+  report.exchange.retries = comm.allreduce_sum(xs.retries, members);
+  report.exchange.reply_resends =
+      comm.allreduce_sum(xs.reply_resends, members);
+  report.exchange.dup_requests =
+      comm.allreduce_sum(xs.dup_requests, members);
+  report.exchange.dup_replies =
+      comm.allreduce_sum(xs.dup_replies, members);
+  report.exchange.backoff_seconds =
+      static_cast<double>(comm.allreduce_sum(
+          static_cast<word_t>(xs.backoff_seconds * 1e6), members)) /
+      1e6;
+  report.checkpoints_written =
+      comm.allreduce_sum(ckpts_written, members);
+  report.checkpoints_restored =
+      comm.allreduce_sum(ckpts_restored, members);
+  report.left_rows_reassigned =
+      comm.allreduce_sum(rows_reassigned, members);
+  report.counted = counted;
+  report.ground_truth = truth;
+  report.shard_stats_ok = bad_shards == 0;
+  report.verified = report.shard_stats_ok && counted == truth;
+  return report;
 }
 
 } // namespace kronlab::dist

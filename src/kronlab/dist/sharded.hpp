@@ -7,8 +7,31 @@
 // distributed analytic (global 4-cycle count via ghost-row exchange), and
 // the result is validated against the factored ground truth, which each
 // rank also evaluates for its own rows in factor space.
+//
+// Fault tolerance (the production posture the paper lineage demands — at
+// a million processes, dropped messages and dead ranks are the norm):
+//  * the ghost-row exchange is an idempotent request/reply/ack protocol
+//    with sequence-numbered (epoch-stamped) messages, bounded retry and
+//    exponential backoff — duplicates are absorbed, losses are retried,
+//    exhaustion surfaces a typed timeout_error / rank_failed, and a rank
+//    lingers (re-acking resends) until every live peer announces
+//    quiescence, so a dropped final ack cannot strand a peer;
+//  * generation can checkpoint progress through the checksummed snapshot
+//    envelope (grb/binary_io.hpp), and supervised_global_butterflies
+//    reassigns a dead rank's row range to the next surviving rank,
+//    restoring from the last checkpoint and regenerating the tail from
+//    the (replicated) factors;
+//  * after recovery every rank cross-checks its shard statistics and the
+//    distributed count against the factor-space ground truth — the
+//    paper's exact oracle doubling as an online corruption detector —
+//    and the run emits a structured RecoveryReport.
 
 #pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "kronlab/dist/comm.hpp"
 #include "kronlab/grb/csr.hpp"
@@ -31,17 +54,76 @@ struct Shard {
   [[nodiscard]] index_t local(index_t v) const { return v - row_begin; }
 };
 
+/// Retry/backoff policy for the fault-tolerant exchange protocol.
+struct RetryConfig {
+  std::chrono::milliseconds timeout{50}; ///< first-attempt deadline
+  int max_retries = 8;                   ///< resends before giving up
+  double backoff = 2.0;                  ///< deadline multiplier per retry
+  std::chrono::milliseconds max_backoff{400}; ///< deadline cap
+};
+
+/// Per-rank protocol counters, aggregated into RecoveryReport.
+struct ExchangeStats {
+  count_t retries = 0;       ///< request resends after a deadline expired
+  count_t reply_resends = 0; ///< reply resends while awaiting an ack
+  count_t dup_requests = 0;  ///< duplicate requests served idempotently
+  count_t dup_replies = 0;   ///< duplicate / stale replies absorbed
+  double backoff_seconds = 0; ///< total time spent in expired deadlines
+};
+
+/// Checkpoint policy for generate_shard_checkpointed.
+struct CheckpointConfig {
+  std::string dir; ///< checkpoint directory; empty disables checkpointing
+  index_t interval_left_rows = 4; ///< snapshot every this many left rows
+
+  [[nodiscard]] bool enabled() const { return !dir.empty(); }
+};
+
+/// Checkpoint file for `rank`'s shard under `cfg.dir`.
+std::string checkpoint_path(const CheckpointConfig& cfg, index_t rank);
+
+/// Structured outcome of one supervised fault-tolerant run.  Every
+/// surviving rank returns an identical report.
+struct RecoveryReport {
+  index_t ranks = 0;                ///< ranks the run started with
+  std::vector<index_t> dead_ranks;  ///< ranks killed by the fault plan
+  FaultStats faults;                ///< faults the runtime injected
+  ExchangeStats exchange;           ///< protocol totals across ranks
+  count_t checkpoints_written = 0;
+  count_t checkpoints_restored = 0;
+  count_t left_rows_reassigned = 0; ///< left-factor rows taken over
+  count_t counted = -1;             ///< distributed 4-cycle count
+  count_t ground_truth = -1;        ///< factored ground truth (Thms 3–5)
+  bool shard_stats_ok = false; ///< factor-space entry-count cross-check
+  bool verified = false;       ///< counted == ground_truth && stats ok
+};
+
 /// Generate this rank's shard of the product — communication-free, from
 /// the replicated factors.
 Shard generate_shard(const kron::BipartiteKronecker& kp,
                      const kron::PartitionedStream& ps, index_t rank);
 
-/// Distributed exact global 4-cycle count over a row-sharded graph:
-/// 2-phase ghost-row exchange (request ids, receive rows), then local
-/// wedge counting of owned vertices, then an all-reduce.  Every rank
-/// returns the global count.  The sharding must cover [0, n) disjointly
-/// across ranks, in rank order.
-count_t distributed_global_butterflies(Comm& comm, const Shard& shard);
+/// Checkpointed variant: generates in blocks of `ckpt.interval_left_rows`
+/// left-factor rows, writing a checksummed snapshot after each block (when
+/// checkpointing is enabled) and hitting the "gen-block" fault point so a
+/// fault plan can kill the rank mid-generation.  `checkpoints_written`
+/// (optional) receives the number of snapshots persisted.
+Shard generate_shard_checkpointed(Comm& comm,
+                                  const kron::BipartiteKronecker& kp,
+                                  const kron::PartitionedStream& ps,
+                                  const CheckpointConfig& ckpt,
+                                  count_t* checkpoints_written = nullptr);
+
+/// Distributed exact global 4-cycle count over a row-sharded graph.
+/// The ghost-row exchange runs the idempotent request/reply/ack protocol
+/// with bounded retry + exponential backoff over the *live* ranks; the
+/// shards of the live ranks must cover [0, n) disjointly, contiguously,
+/// in rank order.  Every rank returns the global count.  Throws
+/// timeout_error when a live peer stops answering within the retry
+/// budget, rank_failed when a peer dies while its rows are still needed.
+count_t distributed_global_butterflies(Comm& comm, const Shard& shard,
+                                       const RetryConfig& retry = {},
+                                       ExchangeStats* stats = nullptr);
 
 /// Each rank's share of the *ground-truth* Σ_p s_C(p) over its owned
 /// product rows, evaluated in factor space (no product data touched);
@@ -49,5 +131,24 @@ count_t distributed_global_butterflies(Comm& comm, const Shard& shard);
 count_t distributed_ground_truth_squares(Comm& comm,
                                          const kron::BipartiteKronecker& kp,
                                          const kron::PartitionedStream& ps);
+
+/// Recovery variant: explicit owned left-factor row range and explicit
+/// member set (the survivors), for use after row reassignment.
+count_t distributed_ground_truth_squares(
+    Comm& comm, const kron::BipartiteKronecker& kp,
+    std::pair<index_t, index_t> owned_left_rows,
+    const std::vector<index_t>& members);
+
+/// The full fault-tolerant pipeline: checkpointed generation, death
+/// detection, reassignment of dead ranks' row ranges to survivors
+/// (checkpoint restore + tail regeneration), resilient exchange + count,
+/// and ground-truth self-verification.  Rank 0 acts as supervisor and
+/// must survive the fault plan.  Every surviving rank returns the same
+/// RecoveryReport; `report.verified` is the bit a production deployment
+/// would alarm on.
+RecoveryReport supervised_global_butterflies(
+    Comm& comm, const kron::BipartiteKronecker& kp,
+    const kron::PartitionedStream& ps, const CheckpointConfig& ckpt = {},
+    const RetryConfig& retry = {});
 
 } // namespace kronlab::dist

@@ -15,9 +15,10 @@ graph::Adjacency bipartite_adjacency_from_edge_list(
   return graph::bipartite_from_biadjacency(x);
 }
 
-graph::Adjacency load_konect_bipartite(const std::string& path) {
+graph::Adjacency load_konect_bipartite(const std::string& path,
+                                       const grb::EdgeListOptions& opt) {
   return bipartite_adjacency_from_edge_list(
-      grb::read_bipartite_edge_list_file(path));
+      grb::read_bipartite_edge_list_file(path, opt));
 }
 
 } // namespace kronlab::gen

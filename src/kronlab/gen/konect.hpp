@@ -20,7 +20,12 @@ namespace kronlab::gen {
 graph::Adjacency bipartite_adjacency_from_edge_list(
     const grb::BipartiteEdgeList& el);
 
-/// Load a KONECT out.* two-mode file as a bipartite adjacency.
-graph::Adjacency load_konect_bipartite(const std::string& path);
+/// Load a KONECT out.* two-mode file as a bipartite adjacency.  The
+/// parser rejects malformed lines (negative/zero ids, non-numeric
+/// tokens, trailing garbage) with a line-numbered io_error; `opt`
+/// additionally enables strict duplicate-edge rejection and tightens the
+/// vertex-id plausibility cap.
+graph::Adjacency load_konect_bipartite(const std::string& path,
+                                       const grb::EdgeListOptions& opt = {});
 
 } // namespace kronlab::gen

@@ -1,9 +1,12 @@
 #include "kronlab/grb/io.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 #include "kronlab/common/error.hpp"
 #include "kronlab/grb/coo.hpp"
@@ -96,29 +99,112 @@ void write_matrix_market(std::ostream& out, const Csr<count_t>& a) {
   }
 }
 
-BipartiteEdgeList read_bipartite_edge_list(std::istream& in) {
+namespace {
+
+[[noreturn]] void bad_line(std::int64_t lineno, const std::string& line,
+                           const std::string& why) {
+  std::string shown = line;
+  if (shown.size() > 80) shown = shown.substr(0, 77) + "...";
+  throw io_error("edge list line " + std::to_string(lineno) + ": " + why +
+                 " — \"" + shown + "\"");
+}
+
+/// Parse one token as a strictly-numeric integer (optional sign).  KONECT
+/// weight/time columns are numeric too, so any alphabetic junk anywhere
+/// on a data line is a parse error, not a silently-ignored suffix.
+bool numeric_token(const std::string& tok, index_t& out) {
+  if (tok.empty()) return false;
+  std::size_t i = (tok[0] == '-' || tok[0] == '+') ? 1 : 0;
+  if (i == tok.size()) return false;
+  index_t v = 0;
+  bool overflow = false;
+  for (; i < tok.size(); ++i) {
+    // Tolerate fractional weights ("1 2 0.5"): validate digits after the
+    // point but ignore them for the integer value.
+    if (tok[i] == '.') {
+      for (++i; i < tok.size(); ++i) {
+        if (tok[i] < '0' || tok[i] > '9') return false;
+      }
+      break;
+    }
+    if (tok[i] < '0' || tok[i] > '9') return false;
+    if (v > (std::numeric_limits<index_t>::max() - 9) / 10) {
+      overflow = true;
+    } else {
+      v = v * 10 + (tok[i] - '0');
+    }
+  }
+  out = overflow ? std::numeric_limits<index_t>::max()
+                 : (tok[0] == '-' ? -v : v);
+  return true;
+}
+
+} // namespace
+
+BipartiteEdgeList read_bipartite_edge_list(std::istream& in,
+                                           const EdgeListOptions& opt) {
   BipartiteEdgeList el;
+  std::unordered_set<std::uint64_t> seen;
   std::string line;
+  std::int64_t lineno = 0;
   while (std::getline(in, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back(); // CRLF
+    const auto first = line.find_first_not_of(" \t");
     if (first == std::string::npos) continue;
     if (line[first] == '%' || line[first] == '#') continue;
     std::istringstream ls(line);
-    index_t u = 0, w = 0;
-    ls >> u >> w;
-    if (!ls) throw io_error("malformed edge list line: " + line);
-    if (u < 1 || w < 1) throw io_error("edge list ids must be 1-based");
+    std::string tok;
+    std::vector<index_t> fields;
+    while (ls >> tok) {
+      index_t v = 0;
+      if (!numeric_token(tok, v)) {
+        bad_line(lineno, line, "non-numeric token \"" + tok + "\"");
+      }
+      fields.push_back(v);
+      if (fields.size() > 4) {
+        bad_line(lineno, line,
+                 "too many fields (expected `u w [weight [time]]`)");
+      }
+    }
+    if (fields.size() < 2) {
+      bad_line(lineno, line, "expected at least two vertex ids");
+    }
+    const index_t u = fields[0];
+    const index_t w = fields[1];
+    if (u < 1 || w < 1) {
+      bad_line(lineno, line, "vertex ids must be positive (1-based)");
+    }
+    if (u > opt.max_vertex_id || w > opt.max_vertex_id) {
+      bad_line(lineno, line,
+               "vertex id exceeds the plausibility cap " +
+                   std::to_string(opt.max_vertex_id));
+    }
+    if (opt.reject_duplicates) {
+      const auto key = static_cast<std::uint64_t>(u - 1) *
+                           static_cast<std::uint64_t>(opt.max_vertex_id) +
+                       static_cast<std::uint64_t>(w - 1);
+      if (!seen.insert(key).second) {
+        bad_line(lineno, line, "duplicate edge");
+      }
+    }
     el.edges.emplace_back(u - 1, w - 1);
     el.n_left = std::max(el.n_left, u);
     el.n_right = std::max(el.n_right, w);
   }
+  if (in.bad()) throw io_error("I/O failure while reading edge list");
   return el;
 }
 
-BipartiteEdgeList read_bipartite_edge_list_file(const std::string& path) {
+BipartiteEdgeList read_bipartite_edge_list_file(const std::string& path,
+                                                const EdgeListOptions& opt) {
   std::ifstream in(path);
   if (!in) throw io_error("cannot open file: " + path);
-  return read_bipartite_edge_list(in);
+  try {
+    return read_bipartite_edge_list(in, opt);
+  } catch (const io_error& e) {
+    throw io_error(path + ": " + e.what());
+  }
 }
 
 void write_bipartite_edge_list(std::ostream& out,

@@ -29,11 +29,26 @@ struct BipartiteEdgeList {
   std::vector<std::pair<index_t, index_t>> edges;
 };
 
+/// Parsing policy for KONECT-style edge lists.  Defaults match real
+/// KONECT dumps (duplicate edges allowed — from_coo collapses them);
+/// every violation is reported as a line-numbered io_error, never a
+/// crash or a silently-garbage edge list.
+struct EdgeListOptions {
+  bool reject_duplicates = false; ///< strict mode: duplicate edge = error
+  /// Sanity cap on vertex ids: a corrupt line can otherwise inflate
+  /// n_left/n_right into a terabyte-scale adjacency allocation.
+  index_t max_vertex_id = index_t{1} << 32;
+};
+
 /// Read a KONECT-style two-mode edge list: lines `u w [weight [time]]`,
-/// 1-based ids, `%` or `#` comment lines.  Duplicate edges are kept (the
-/// caller's from_coo combine collapses them).
-BipartiteEdgeList read_bipartite_edge_list(std::istream& in);
-BipartiteEdgeList read_bipartite_edge_list_file(const std::string& path);
+/// 1-based ids, `%` or `#` comment lines, CRLF tolerated.  Malformed
+/// lines (non-numeric tokens, ids < 1, ids beyond the cap, trailing
+/// garbage, and — in strict mode — duplicate edges) throw io_error
+/// naming the offending line number.
+BipartiteEdgeList read_bipartite_edge_list(std::istream& in,
+                                           const EdgeListOptions& opt = {});
+BipartiteEdgeList read_bipartite_edge_list_file(
+    const std::string& path, const EdgeListOptions& opt = {});
 
 /// Write one `u w` line per edge (1-based), with a header comment.
 void write_bipartite_edge_list(std::ostream& out,

@@ -68,6 +68,9 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
     fn(0); // single-threaded pool: just run inline
     return;
   }
+  // One fork/join at a time: a second external caller (another simulated
+  // rank thread) waits here rather than clobbering job_/remaining_.
+  std::lock_guard run_lock(run_mutex_);
   {
     std::lock_guard lock(mutex_);
     job_ = &fn;

@@ -45,6 +45,12 @@ public:
   /// nested calls degrade to executing `fn(0)` inline on the caller.  The
   /// parallel_for helpers detect nesting themselves and fall back to their
   /// serial paths, which cover the whole range.
+  ///
+  /// Concurrent run() calls from *distinct* threads (e.g. simulated
+  /// distributed ranks each invoking a parallel kernel) serialize on an
+  /// internal mutex: one fork/join completes before the next starts.
+  /// Without that, two callers overwrite each other's job pointer and
+  /// completion count — lost work at best, a deadlocked caller at worst.
   void run(const std::function<void(std::size_t)>& fn);
 
   /// True while the current thread is executing inside a pool job — used
@@ -55,6 +61,7 @@ private:
   void worker_loop(std::size_t id);
 
   std::vector<std::thread> workers_;
+  std::mutex run_mutex_; ///< serializes external run() callers
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

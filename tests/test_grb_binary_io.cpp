@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "kronlab/gen/random_bipartite.hpp"
 #include "kronlab/gen/unicode_like.hpp"
@@ -80,6 +82,161 @@ TEST(BinaryIo, RejectsCorruptStructure) {
 
 TEST(BinaryIo, MissingFileThrows) {
   EXPECT_THROW(read_binary_file("/nonexistent/factor.krn"), io_error);
+}
+
+namespace {
+
+std::string serialized(const Csr<count_t>& a) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, a);
+  return buf.str();
+}
+
+std::stringstream as_stream(std::string data) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << data;
+  return buf;
+}
+
+/// A stream holding just a magic and a header — for header-validation
+/// tests that must fail before any array is read.
+std::stringstream header_only(const char* magic, std::int64_t nrows,
+                              std::int64_t ncols, std::int64_t nnz) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf.write(magic, 8);
+  const std::int64_t header[3] = {nrows, ncols, nnz};
+  buf.write(reinterpret_cast<const char*>(header), sizeof header);
+  return buf;
+}
+
+} // namespace
+
+TEST(BinaryIo, ChecksumDetectsValueBitFlip) {
+  Rng rng(7);
+  const auto a = gen::random_bipartite(6, 6, 14, rng);
+  std::string data = serialized(a);
+  // Flip one bit in the last value word — structurally still a valid CSR
+  // (values are unconstrained), so only the checksum can catch it.
+  data[data.size() - 9] ^= 0x01;
+  auto bad = as_stream(data);
+  try {
+    read_binary(bad);
+    FAIL() << "corrupt value accepted";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(BinaryIo, AcceptsLegacyChecksumlessV1) {
+  Rng rng(8);
+  const auto a = gen::random_bipartite(7, 5, 16, rng);
+  std::string data = serialized(a);
+  data[7] = '1';                   // KRNLCSR2 -> KRNLCSR1
+  data.resize(data.size() - 8);    // V1 carries no trailing checksum
+  auto legacy = as_stream(data);
+  EXPECT_EQ(read_binary(legacy), a);
+}
+
+TEST(BinaryIo, RejectsNegativeDimensions) {
+  auto buf = header_only("KRNLCSR2", -1, 4, 0);
+  EXPECT_THROW(read_binary(buf), io_error);
+}
+
+TEST(BinaryIo, RejectsImplausibleDimensions) {
+  // A few corrupt bytes must not trigger a terabyte allocation.
+  auto buf = header_only("KRNLCSR2", std::int64_t{1} << 41, 4, 0);
+  EXPECT_THROW(read_binary(buf), io_error);
+}
+
+TEST(BinaryIo, RejectsNnzExceedingMatrixCapacity) {
+  auto buf = header_only("KRNLCSR2", 2, 2, 5); // nnz > nrows*ncols
+  try {
+    read_binary(buf);
+    FAIL() << "overfull header accepted";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot envelope (the distributed checkpoint format).
+
+TEST(Snapshot, RoundTripsMetaAndPayload) {
+  Rng rng(9);
+  SnapshotEnvelope snap;
+  snap.meta = {1, 42, -7, 1'000'000};
+  snap.payload = gen::random_bipartite(5, 9, 20, rng);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_snapshot(buf, snap);
+  const auto back = read_snapshot(buf);
+  EXPECT_EQ(back.meta, snap.meta);
+  EXPECT_EQ(back.payload, snap.payload);
+}
+
+TEST(Snapshot, FileRoundTripIsAtomic) {
+  const std::string path = "/tmp/kronlab_test_snapshot.ckpt";
+  Rng rng(10);
+  SnapshotEnvelope snap;
+  snap.meta = {1, 2, 3};
+  snap.payload = gen::random_bipartite(4, 4, 9, rng);
+  write_snapshot_file(path, snap);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file left behind after rename";
+  const auto back = read_snapshot_file(path);
+  EXPECT_EQ(back.meta, snap.meta);
+  EXPECT_EQ(back.payload, snap.payload);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MetaCorruptionIsDetected) {
+  SnapshotEnvelope snap;
+  snap.meta = {5, 6, 7};
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_snapshot(buf, snap);
+  std::string data = buf.str();
+  data[8 + 8 + 4] ^= 0x10; // flip a bit inside meta[0]
+  auto bad = as_stream(data);
+  try {
+    read_snapshot(bad);
+    FAIL() << "corrupt metadata accepted";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("metadata checksum"),
+              std::string::npos);
+  }
+}
+
+TEST(Snapshot, PayloadCorruptionIsDetected) {
+  Rng rng(11);
+  SnapshotEnvelope snap;
+  snap.meta = {1};
+  snap.payload = gen::random_bipartite(4, 4, 10, rng);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_snapshot(buf, snap);
+  std::string data = buf.str();
+  data[data.size() - 9] ^= 0x01; // inside the embedded CSR's last value
+  auto bad = as_stream(data);
+  EXPECT_THROW(read_snapshot(bad), io_error);
+}
+
+TEST(Snapshot, RejectsTruncationAndBadMagic) {
+  SnapshotEnvelope snap;
+  snap.meta = {1, 2};
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_snapshot(buf, snap);
+  std::string data = buf.str();
+  data.resize(20); // cut inside the metadata
+  auto cut = as_stream(data);
+  EXPECT_THROW(read_snapshot(cut), io_error);
+  auto wrong = as_stream("KRNLCSR2whatever........");
+  EXPECT_THROW(read_snapshot(wrong), io_error);
+}
+
+TEST(Snapshot, RejectsImplausibleMetaLength) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf.write("KRNLCKP1", 8);
+  const std::int64_t n_meta = std::int64_t{1} << 30;
+  buf.write(reinterpret_cast<const char*>(&n_meta), sizeof n_meta);
+  EXPECT_THROW(read_snapshot(buf), io_error);
 }
 
 } // namespace

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "kronlab/grb/io.hpp"
 #include "kronlab/grb/ops.hpp"
@@ -97,18 +100,100 @@ TEST(EdgeList, ReadsKonectStyle) {
 }
 
 TEST(EdgeList, RejectsMalformedLines) {
+  // Table-driven: every malformed shape the KONECT-style parser guards
+  // against, with the 1-based line number it must report.
+  struct Case {
+    const char* name;
+    const char* input;
+    const char* expect_in_what; // substring of the io_error message
+  };
+  const Case cases[] = {
+      {"too few fields", "1 2\n1\n", "line 2"},
+      {"zero id", "0 1\n", "must be positive"},
+      {"negative id", "1 2\n-3 4\n", "must be positive"},
+      {"alphabetic token", "a b\n", "non-numeric"},
+      {"numeric prefix with junk", "12x 3\n", "non-numeric"},
+      {"junk weight column", "1 2 heavy\n", "non-numeric"},
+      {"too many fields", "1 2 3 4 5\n", "too many fields"},
+      {"lone sign", "+ 2\n", "non-numeric"},
+      {"line number is counted", "1 1\n\n% c\n2 2\nbad 3\n", "line 5"},
+  };
+  for (const auto& c : cases) {
+    std::istringstream in(c.input);
+    try {
+      read_bipartite_edge_list(in);
+      FAIL() << "accepted malformed input: " << c.name;
+    } catch (const io_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_in_what),
+                std::string::npos)
+          << c.name << " — got: " << e.what();
+    }
+  }
+}
+
+TEST(EdgeList, AcceptsCrlfAndFractionalWeights) {
+  std::istringstream in("1 2\r\n2 1 0.5\r\n% comment\r\n\r\n3 2 1.25 99\r\n");
+  const auto el = read_bipartite_edge_list(in);
+  EXPECT_EQ(el.edges.size(), 3u);
+  EXPECT_EQ(el.n_left, 3);
+  EXPECT_EQ(el.n_right, 2);
+}
+
+TEST(EdgeList, DuplicateEdgesToleratedUnlessStrict) {
+  const char* input = "1 2\n1 2\n2 1\n";
   {
-    std::istringstream in("1\n");
-    EXPECT_THROW(read_bipartite_edge_list(in), io_error);
+    std::istringstream in(input);
+    EXPECT_EQ(read_bipartite_edge_list(in).edges.size(), 3u);
   }
   {
-    std::istringstream in("0 1\n"); // 1-based required
-    EXPECT_THROW(read_bipartite_edge_list(in), io_error);
+    std::istringstream in(input);
+    EdgeListOptions opt;
+    opt.reject_duplicates = true;
+    try {
+      read_bipartite_edge_list(in, opt);
+      FAIL() << "duplicate accepted in strict mode";
+    } catch (const io_error& e) {
+      EXPECT_NE(std::string(e.what()).find("duplicate edge"),
+                std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+  }
+}
+
+TEST(EdgeList, EnforcesVertexIdCap) {
+  EdgeListOptions opt;
+  opt.max_vertex_id = 100;
+  {
+    std::istringstream in("1 100\n");
+    EXPECT_EQ(read_bipartite_edge_list(in, opt).n_right, 100);
   }
   {
-    std::istringstream in("a b\n");
+    std::istringstream in("1 101\n");
+    EXPECT_THROW(read_bipartite_edge_list(in, opt), io_error);
+  }
+  {
+    // Default cap guards against ids that would overflow allocation math
+    // (e.g. 20 digits of garbage parsed as a vertex id).
+    std::istringstream in("1 99999999999999999999\n");
     EXPECT_THROW(read_bipartite_edge_list(in), io_error);
   }
+}
+
+TEST(EdgeList, FileErrorsArePrefixedWithPath) {
+  const std::string path = "/tmp/kronlab_test_badedges.txt";
+  {
+    std::ofstream out(path);
+    out << "1 2\nnot numeric\n";
+  }
+  try {
+    read_bipartite_edge_list_file(path);
+    FAIL() << "malformed file accepted";
+  } catch (const io_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos);
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(EdgeList, RoundTripsThroughWrite) {

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include "kronlab/common/error.hpp"
 #include "kronlab/parallel/parallel_for.hpp"
@@ -102,6 +104,34 @@ TEST(ExclusiveScan, ComputesOffsetsAndTotal) {
   const auto total = exclusive_scan_inplace(v);
   EXPECT_EQ(total, 10);
   EXPECT_EQ(v, (std::vector<long long>{0, 3, 3, 8}));
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersSerialize) {
+  // Regression: simulated distributed ranks are plain threads that each
+  // invoke parallel kernels on the same pool.  Unserialized, two callers
+  // overwrite each other's job pointer and completion count — one of them
+  // then waits on a completion signal that never fires (deadlock found by
+  // running the dist suites under TSan with KRONLAB_THREADS=4).
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 25;
+  const index_t n = 2000;
+  std::vector<std::thread> callers;
+  std::vector<long long> results(kCallers * kRounds, -1);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        results[static_cast<std::size_t>(c * kRounds + round)] =
+            parallel_reduce<long long>(
+                0, n, 0LL,
+                [](index_t i) { return static_cast<long long>(i); },
+                [](long long a, long long b) { return a + b; }, pool);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  const long long expect = static_cast<long long>(n) * (n - 1) / 2;
+  for (const auto r : results) EXPECT_EQ(r, expect);
 }
 
 TEST(GlobalPool, IsSingletonAndUsable) {

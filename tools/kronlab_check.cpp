@@ -92,10 +92,7 @@ Options parse_args(int argc, char** argv) {
 bool check_truth_file(const kron::GroundTruthOracle& oracle,
                       const std::string& path) {
   std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return false;
-  }
+  if (!in) throw io_error("cannot open " + path);
   std::string line;
   count_t checked = 0, bad = 0;
   while (std::getline(in, line)) {
@@ -147,10 +144,7 @@ bool check_truth_file(const kron::GroundTruthOracle& oracle,
 bool check_edges_file(const kron::BipartiteKronecker& kp,
                       const std::string& path) {
   std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return false;
-  }
+  if (!in) throw io_error("cannot open " + path);
   std::unordered_set<std::uint64_t> seen;
   const auto key = [&](index_t p, index_t q) {
     if (p > q) std::swap(p, q);
@@ -250,9 +244,20 @@ int main(int argc, char** argv) {
                     static_cast<long long>(e.squares));
       }
     }
-    return ok ? 0 : 1;
-  } catch (const error& e) {
+    // Exit codes: 0 = all checks passed, 2 = usage / bad spec, 3 = io,
+    // 4 = validation mismatch, 1 = anything else.
+    return ok ? 0 : 4;
+  } catch (const io_error& e) {
+    std::fprintf(stderr, "kronlab_check: io error: %s\n", e.what());
+    return 3;
+  } catch (const invalid_argument& e) {
     std::fprintf(stderr, "kronlab_check: %s\n", e.what());
     return 2;
+  } catch (const error& e) {
+    std::fprintf(stderr, "kronlab_check: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kronlab_check: unexpected error: %s\n", e.what());
+    return 1;
   }
 }

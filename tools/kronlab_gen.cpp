@@ -183,8 +183,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "wrote %s\n", opt.truth_path.c_str());
     }
     return 0;
+  } catch (const io_error& e) {
+    // Exit codes: 2 = usage / bad spec, 3 = io, 4 = validation failure,
+    // 1 = anything else.  Scripts branching on the generator's outcome
+    // depend on these staying distinct.
+    std::fprintf(stderr, "kronlab_gen: io error: %s\n", e.what());
+    return 3;
+  } catch (const domain_error& e) {
+    std::fprintf(stderr, "kronlab_gen: validation failed: %s\n", e.what());
+    return 4;
+  } catch (const invalid_argument& e) {
+    std::fprintf(stderr, "kronlab_gen: %s\n", e.what());
+    return 2;
   } catch (const error& e) {
     std::fprintf(stderr, "kronlab_gen: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kronlab_gen: unexpected error: %s\n", e.what());
     return 1;
   }
 }
