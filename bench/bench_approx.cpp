@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness/harness.hpp"
 #include "kronlab/common/timer.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
 #include "kronlab/graph/approx_butterflies.hpp"
@@ -21,7 +22,8 @@
 
 using namespace kronlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("approx", bench::parse_args(argc, argv));
   std::printf("== scoring approximate butterfly counters against ground "
               "truth ==\n\n");
 
@@ -46,12 +48,18 @@ int main() {
     std::printf("GROUND TRUTH MISMATCH\n");
     return 1;
   }
+  h.time_value("exact_recount", exact_s);
+  h.counter("ground_truth_ok", 1.0);
+  h.counter("exact_squares", static_cast<double>(truth));
   std::printf("exact recount (wedge algorithm): %s\n\n",
               format_duration(exact_s).c_str());
 
   std::printf("%8s | %22s | %22s | %22s\n", "samples", "vertex est (err)",
               "edge est (err)", "wedge est (err)");
-  for (const index_t samples : {100, 400, 1600, 6400, 25600}) {
+  const std::vector<index_t> budgets =
+      h.quick() ? std::vector<index_t>{100, 400, 1600}
+                : std::vector<index_t>{100, 400, 1600, 6400, 25600};
+  for (const index_t samples : budgets) {
     double est[3], err[3];
     double secs[3];
     Rng r(99);
@@ -77,7 +85,14 @@ int main() {
                 "(%5.1f%%)\n",
                 static_cast<long long>(samples), est[0], err[0], est[1],
                 err[1], est[2], err[2]);
-    (void)secs;
+    if (samples == budgets.back()) {
+      h.counter("err_pct_vertex_largest_budget", err[0]);
+      h.counter("err_pct_edge_largest_budget", err[1]);
+      h.counter("err_pct_wedge_largest_budget", err[2]);
+      h.time_value("approx_vertex_largest_budget", secs[0]);
+      h.time_value("approx_edge_largest_budget", secs[1]);
+      h.time_value("approx_wedge_largest_budget", secs[2]);
+    }
   }
 
   std::printf("\nshape: all three estimator families converge toward the "

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hpp"
 #include "kronlab/common/timer.hpp"
 #include "kronlab/gen/canonical.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
@@ -18,17 +19,27 @@ using namespace kronlab;
 
 namespace {
 
-void row(const char* name, const kron::BipartiteKronecker& kp) {
+bool all_exact = true;
+int rows_run = 0;
+
+void row(bench::Harness& h, const char* name,
+         const kron::BipartiteKronecker& kp) {
+  ++rows_run;
+  const std::string tag = "row" + std::to_string(rows_run);
+
   Timer t_truth;
   const auto ecc_truth = kron::product_eccentricities(kp);
   const double truth_s = t_truth.seconds();
+  h.time_value("truth_" + tag, truth_s);
 
   Timer t_bfs;
   const auto c = kp.materialize();
   const auto ecc_bfs = graph::eccentricities(c);
   const double bfs_s = t_bfs.seconds();
+  h.time_value("bfs_" + tag, bfs_s);
 
   const bool ok = ecc_truth == ecc_bfs;
+  all_exact &= ok;
   index_t diam = 0, rad = ecc_truth.empty() ? 0 : ecc_truth[0];
   for (const index_t e : ecc_truth) {
     diam = std::max(diam, e);
@@ -45,35 +56,40 @@ void row(const char* name, const kron::BipartiteKronecker& kp) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("distance", bench::parse_args(argc, argv));
   std::printf("== eccentricity/diameter ground truth for products ==\n\n");
 
-  row("K3 (x) P8 (Thm 1)",
+  row(h, "K3 (x) P8 (Thm 1)",
       kron::BipartiteKronecker::assumption_i(gen::triangle_with_tail(0),
                                              gen::path_graph(8)));
-  row("(P5+I) (x) C8 (Thm 2)",
+  row(h, "(P5+I) (x) C8 (Thm 2)",
       kron::BipartiteKronecker::assumption_ii(gen::path_graph(5),
                                               gen::cycle_graph(8)));
-  row("(C6+I) (x) Q4 (Thm 2)",
+  row(h, "(C6+I) (x) Q4 (Thm 2)",
       kron::BipartiteKronecker::assumption_ii(gen::cycle_graph(6),
                                               gen::hypercube(4)));
   Rng rng(23);
-  row("random (Thm 1)",
+  row(h, "random (Thm 1)",
       kron::BipartiteKronecker::assumption_i(
           gen::random_nonbipartite_connected(20, 45, rng),
           gen::connected_random_bipartite(12, 12, 40, rng)));
-  row("random (Thm 2)",
+  row(h, "random (Thm 2)",
       kron::BipartiteKronecker::assumption_ii(
           gen::connected_random_bipartite(10, 10, 28, rng),
           gen::connected_random_bipartite(12, 10, 32, rng)));
-  row("larger random (Thm 1)",
-      kron::BipartiteKronecker::assumption_i(
-          gen::random_nonbipartite_connected(30, 70, rng),
-          gen::connected_random_bipartite(20, 20, 70, rng)));
+  if (!h.quick()) {
+    row(h, "larger random (Thm 1)",
+        kron::BipartiteKronecker::assumption_i(
+            gen::random_nonbipartite_connected(30, 70, rng),
+            gen::connected_random_bipartite(20, 20, 70, rng)));
+  }
 
   std::printf("\nfactor-space eccentricities agree with BFS on every "
               "product; the ground\ntruth needs only O(n_A² + n_B²) parity "
               "BFS state vs the product's\nO(|V_C|·|E_C|) all-sources "
               "BFS.\n");
-  return 0;
+  h.counter("rows", static_cast<double>(rows_run));
+  h.counter("rows_exact", all_exact ? 1.0 : 0.0);
+  return all_exact ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <string>
 
+#include "harness/harness.hpp"
 #include "kronlab/common/timer.hpp"
 #include "kronlab/dist/sharded.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
@@ -18,7 +19,8 @@
 
 using namespace kronlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("distributed", bench::parse_args(argc, argv));
   std::printf("== distributed generation + validated counting ==\n\n");
 
   Rng rng(515);
@@ -34,12 +36,16 @@ int main() {
   Timer t_serial;
   const count_t serial = graph::global_butterflies(kp.materialize());
   const double serial_s = t_serial.seconds();
+  h.time_value("serial_recount", serial_s);
   std::printf("serial recount: %s in %s\n\n", format_count(serial).c_str(),
               format_duration(serial_s).c_str());
 
   std::printf("%6s | %22s | %12s | %s\n", "ranks", "shard entries min/max",
               "count time", "agreement");
-  for (const index_t ranks : {1, 2, 4, 8}) {
+  const std::vector<index_t> rank_counts =
+      h.quick() ? std::vector<index_t>{1, 4}
+                : std::vector<index_t>{1, 2, 4, 8};
+  for (const index_t ranks : rank_counts) {
     const kron::PartitionedStream ps(kp, ranks);
     count_t min_e = -1, max_e = 0;
     for (index_t r = 0; r < ranks; ++r) {
@@ -63,6 +69,9 @@ int main() {
     const double secs = t.seconds();
 
     const bool ok = counted == truth && truth_dist == truth;
+    h.time_value("distributed_count_ranks" +
+                     std::to_string(static_cast<long long>(ranks)),
+                 secs);
     std::printf("%6lld | %10s / %-9s | %12s | %s\n",
                 static_cast<long long>(ranks),
                 format_count(min_e).c_str(), format_count(max_e).c_str(),
@@ -70,6 +79,7 @@ int main() {
                 ok ? "exact (count == truth == serial)" : "MISMATCH");
     if (!ok) return 1;
   }
+  h.counter("rank_sweeps_exact", 1.0);
 
   // -------------------------------------------------------------------
   // Fault-injected recovery: the same pipeline under a hostile network
@@ -152,6 +162,11 @@ int main() {
               rep.counted == truth ? "exact" : "MISMATCH");
   std::printf("  recovery overhead: %.2fx the clean supervised run\n",
               clean_s > 0 ? fault_s / clean_s : 0.0);
+  h.time_value("supervised_clean", clean_s);
+  h.time_value("supervised_faulted", fault_s);
+  h.counter("recovery_overhead_x", clean_s > 0 ? fault_s / clean_s : 0.0);
+  h.counter("faulted_run_verified",
+            rep.verified && rep.counted == truth ? 1.0 : 0.0);
   if (!rep.verified || rep.counted != truth || !clean_rep.verified) return 1;
 
   std::printf("\nthe same message pattern (replicated factors, shard-local "

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hpp"
 #include "kronlab/gen/canonical.hpp"
 #include "kronlab/graph/bipartite.hpp"
 #include "kronlab/graph/traversal.hpp"
@@ -22,8 +23,10 @@ using namespace kronlab;
 namespace {
 
 bool all_ok = true;
+int panels_run = 0;
 
 void panel(const char* name, const kron::BipartiteKronecker& kp) {
+  ++panels_run;
   const auto pred = kron::predict(kp);
   const auto c = kp.materialize();
   const auto comp = graph::connected_components(c);
@@ -42,7 +45,8 @@ void panel(const char* name, const kron::BipartiteKronecker& kp) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("fig1_connectivity", bench::parse_args(argc, argv));
   std::printf("== Fig. 1: connectivity of bipartite Kronecker products ==\n\n");
 
   // The figure's factors are path/cycle-sized; we use P3, P4, a triangle,
@@ -72,5 +76,7 @@ int main() {
   std::printf("\n%s\n", all_ok
                             ? "every prediction matched the BFS measurement."
                             : "PREDICTION MISMATCH — see rows above.");
+  h.counter("panels", static_cast<double>(panels_run));
+  h.counter("predictions_ok", all_ok ? 1.0 : 0.0);
   return all_ok ? 0 : 1;
 }

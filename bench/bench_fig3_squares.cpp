@@ -6,25 +6,25 @@
 // by the factor-vertex pair they come from, plus the Remark-1 checks:
 // factor square counts are zero, product counts are not.
 //
-// A second section exercises the dynamically scheduled runtime on a
-// heavy-tailed factor: direct butterfly counting under the old static
-// chunking vs the dynamic dispatcher, with the per-kernel imbalance
-// metrics dumped at the end.
+// A second section is the counting-kernel shootout this bench anchors in
+// the perf trajectory: the retained reference wedge-table counters vs the
+// degree-ordered cache-blocked kernels (graph/blocked.hpp), on
+// heavy-tailed preferential-attachment factors of increasing size, with
+// exact-agreement checks and the per-kernel dispatch metrics dumped into
+// BENCH_fig3_squares.json by the shared harness.
 
-#include <atomic>
 #include <cstdio>
 
-#include "kronlab/common/timer.hpp"
+#include "harness/harness.hpp"
 #include "kronlab/gen/canonical.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/graph/blocked.hpp"
 #include "kronlab/graph/butterflies.hpp"
 #include "kronlab/graph/graph.hpp"
 #include "kronlab/grb/ops.hpp"
 #include "kronlab/kron/ground_truth.hpp"
 #include "kronlab/kron/index_map.hpp"
 #include "kronlab/kron/product.hpp"
-#include "kronlab/parallel/metrics.hpp"
-#include "kronlab/parallel/parallel_for.hpp"
 
 using namespace kronlab;
 
@@ -61,90 +61,74 @@ void example(const char* name, const kron::BipartiteKronecker& kp,
               static_cast<long long>(maxs));
 }
 
-/// Direct vertex butterfly counting with the pre-dynamic-runtime schedule:
-/// one contiguous chunk per worker, wedge table allocated per chunk.  Kept
-/// here as the baseline the dynamic runtime is measured against.
-grb::Vector<count_t> vertex_butterflies_static(const graph::Adjacency& a,
-                                               ThreadPool& pool) {
-  grb::Vector<count_t> s(a.nrows(), 0);
-  metrics::KernelScope scope("bench/vertex_butterflies_static");
-  std::atomic<std::size_t> chunk_id{0};
-  parallel_for_range(
-      0, a.nrows(),
-      [&](index_t lo, index_t hi) {
-        // Static = one chunk per worker, so the chunk index doubles as a
-        // worker id for the imbalance report.
-        const std::size_t worker = chunk_id.fetch_add(1);
-        Timer busy;
-        std::vector<count_t> cnt(static_cast<std::size_t>(a.nrows()), 0);
-        std::vector<index_t> touched;
-        for (index_t i = lo; i < hi; ++i) {
-          touched.clear();
-          for (const index_t j : a.row_cols(i)) {
-            for (const index_t k : a.row_cols(j)) {
-              if (k == i) continue;
-              if (cnt[static_cast<std::size_t>(k)] == 0) touched.push_back(k);
-              ++cnt[static_cast<std::size_t>(k)];
-            }
-          }
-          count_t acc = 0;
-          for (const index_t k : touched) {
-            const count_t c = cnt[static_cast<std::size_t>(k)];
-            acc += c * (c - 1) / 2;
-            cnt[static_cast<std::size_t>(k)] = 0;
-          }
-          s[i] = acc;
-        }
-        scope.note_worker(worker, busy.seconds(), 1,
-                          static_cast<std::uint64_t>(hi - lo));
-      },
-      pool);
-  return s;
-}
+struct Instance {
+  index_t nu, nw;
+  count_t m;
+};
 
-void static_vs_dynamic() {
-  std::printf("\n== dynamic runtime: static vs dynamic chunking on a "
-              "heavy-tailed factor ==\n\n");
-  metrics::set_enabled(true);
-  metrics::reset();
-
-  // Preferential attachment concentrates wedges on the early (hub)
-  // vertices, so the static split's first chunk carries most of the work.
+/// Reference vs blocked kernels on one heavy-tailed factor; returns false
+/// on any count disagreement.
+bool shootout(bench::Harness& h, const Instance& inst, bool largest) {
   Rng rng(7);
-  const auto a = gen::preferential_bipartite(4000, 6000, 48000, rng);
+  const auto a = gen::preferential_bipartite(inst.nu, inst.nw, inst.m, rng);
+  const std::string tag = std::to_string(static_cast<long long>(a.nrows())) +
+                          "v_" +
+                          std::to_string(static_cast<long long>(a.nnz() / 2)) +
+                          "e";
   std::printf("factor: %lld vertices, %lld edges, max degree %lld\n",
               static_cast<long long>(a.nrows()),
               static_cast<long long>(a.nnz() / 2),
               static_cast<long long>(graph::max_degree(a)));
 
-  for (const std::size_t threads : {2u, 4u, 8u}) {
-    ThreadPool pool(threads);
-    ScopedPoolOverride use_pool(pool);
+  grb::Vector<count_t> v_ref, v_blk;
+  grb::Csr<count_t> e_ref, e_blk;
+  const auto t_vref = h.time_section(
+      "vertex_reference_" + tag,
+      [&] { v_ref = graph::vertex_butterflies_reference(a); });
+  const auto t_vblk = h.time_section(
+      "vertex_blocked_" + tag,
+      [&] { v_blk = graph::vertex_butterflies_blocked(a); });
+  const auto t_eref = h.time_section(
+      "edge_reference_" + tag,
+      [&] { e_ref = graph::edge_butterflies_reference(a); });
+  const auto t_eblk = h.time_section(
+      "edge_blocked_" + tag,
+      [&] { e_blk = graph::edge_butterflies_blocked(a); });
 
-    Timer t_static;
-    const auto s_static = vertex_butterflies_static(a, pool);
-    const double static_s = t_static.seconds();
-
-    Timer t_dynamic;
-    const auto s_dynamic = graph::vertex_butterflies(a);
-    const double dynamic_s = t_dynamic.seconds();
-
-    std::printf("pool %zu: static %8.2f ms   dynamic %8.2f ms   "
-                "speedup %.2fx   %s\n",
-                threads, static_s * 1e3, dynamic_s * 1e3,
-                static_s / std::max(1e-9, dynamic_s),
-                s_static == s_dynamic ? "(results agree)"
-                                      : "<< RESULT MISMATCH");
+  const bool agree = v_ref == v_blk && e_ref == e_blk;
+  // Speedups compare minima over reps — the usual noise-robust estimator
+  // on a shared box, where the mean absorbs scheduler interference.
+  const double v_speedup = t_vref.min_seconds /
+                           std::max(1e-9, t_vblk.min_seconds);
+  const double e_speedup = t_eref.min_seconds /
+                           std::max(1e-9, t_eblk.min_seconds);
+  std::printf("  vertex: reference %8.2f ms   blocked %8.2f ms   %.2fx\n",
+              t_vref.min_seconds * 1e3, t_vblk.min_seconds * 1e3,
+              v_speedup);
+  std::printf("  edge:   reference %8.2f ms   blocked %8.2f ms   %.2fx   "
+              "%s\n",
+              t_eref.min_seconds * 1e3, t_eblk.min_seconds * 1e3,
+              e_speedup,
+              agree ? "(counts bit-identical)" : "<< COUNT MISMATCH");
+  if (largest) {
+    const double combined =
+        (t_vref.min_seconds + t_eref.min_seconds) /
+        std::max(1e-9, t_vblk.min_seconds + t_eblk.min_seconds);
+    h.counter("vertex_speedup_largest", v_speedup);
+    h.counter("edge_speedup_largest", e_speedup);
+    h.counter("speedup_largest", combined);
+    h.counter("largest_vertices", static_cast<double>(a.nrows()));
+    h.counter("largest_edges", static_cast<double>(a.nnz() / 2));
+    h.label("largest_instance", tag);
   }
-
-  std::printf("\nper-kernel metrics (dynamic runs):\n%s",
-              metrics::report_text().c_str());
-  std::printf("json: %s\n", metrics::report_json().c_str());
+  return agree;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("fig3_squares", bench::parse_args(argc, argv));
+
   std::printf("== Fig. 3 / Remark 1: 4-cycles in products of square-free "
               "factors ==\n\n");
 
@@ -180,6 +164,25 @@ int main() {
               "k-wing/truss-style decompositions are hard to plant\n(§I, "
               "§III-B).\n");
 
-  static_vs_dynamic();
-  return 0;
+  std::printf("\n== counting kernels: reference wedge table vs "
+              "degree-ordered blocked ==\n\n");
+
+  // Preferential attachment concentrates wedges on the early (hub)
+  // vertices — the regime the degree ordering is built for.
+  const std::vector<Instance> instances =
+      h.quick() ? std::vector<Instance>{{2000, 3000, 24000},
+                                        {10000, 15000, 150000}}
+                : std::vector<Instance>{{4000, 6000, 48000},
+                                        {20000, 30000, 300000},
+                                        {60000, 90000, 1200000}};
+  bool all_agree = true;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    all_agree &=
+        shootout(h, instances[i], /*largest=*/i + 1 == instances.size());
+    std::printf("\n");
+  }
+  h.counter("kernels_agree", all_agree ? 1.0 : 0.0);
+
+  std::printf("per-kernel metrics:\n%s", metrics::report_text().c_str());
+  return all_agree ? 0 : 1;
 }

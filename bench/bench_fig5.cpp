@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <map>
 
+#include "harness/harness.hpp"
 #include "kronlab/common/timer.hpp"
 #include "kronlab/gen/unicode_like.hpp"
 #include "kronlab/graph/butterflies.hpp"
@@ -62,20 +63,25 @@ void print_series(const char* title, const grb::Vector<count_t>& deg,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("fig5", bench::parse_args(argc, argv));
   std::printf("== Fig. 5: vertex degree vs 4-cycle participation ==\n");
   Timer total;
 
   const auto a = gen::unicode_like();
   const auto deg_a = graph::degrees(a);
-  const auto sq_a = graph::vertex_butterflies(a);
+  grb::Vector<count_t> sq_a;
+  h.time_section("factor_vertex_butterflies",
+                 [&] { sq_a = graph::vertex_butterflies(a); });
   print_series("factor A (unicode-like, direct count)", deg_a, sq_a);
 
   const auto kp = kron::BipartiteKronecker::raw(grb::add_identity(a), a);
   // Ground truth in factor space; materializing the *statistic* (vector of
   // |V_C| counts) is linear and cheap, the graph itself is never formed.
   const auto deg_c = kron::degrees(kp).materialize();
-  const auto sq_c = kron::vertex_squares(kp).materialize();
+  grb::Vector<count_t> sq_c;
+  h.time_section("product_vertex_squares_factored",
+                 [&] { sq_c = kron::vertex_squares(kp).materialize(); });
   print_series("product C = (A+I)⊗A (ground-truth formulas)", deg_c, sq_c);
 
   // Shape checks the paper's plot conveys.
@@ -92,6 +98,8 @@ int main() {
   std::printf("  product series spans %.1f decades of degree\n",
               std::log10(static_cast<double>(graph::max_degree(
                   kp.left()) * graph::max_degree(kp.right()))));
+  h.counter("max_vertex_squares_factor", static_cast<double>(max_sq_a));
+  h.counter("max_vertex_squares_product", static_cast<double>(max_sq_c));
   std::printf("\ncompleted in %s\n", format_duration(total.seconds()).c_str());
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hpp"
 #include "kronlab/common/timer.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
 #include "kronlab/gen/rmat.hpp"
@@ -29,14 +30,17 @@ double rate(count_t edges, double seconds) {
 
 } // namespace
 
-int main() {
-  metrics::set_enabled(true);
+int main(int argc, char** argv) {
+  bench::Harness h("generation", bench::parse_args(argc, argv));
   std::printf("== X2: generation throughput (Medges/s) ==\n\n");
   std::printf("%12s | %10s %14s %12s | %10s\n", "|E_C|", "stream",
               "stream+truth", "materialize", "R-MAT");
 
   Rng rng(3);
-  for (const index_t scale : {8, 16, 32}) {
+  const std::vector<index_t> scales = h.quick()
+                                          ? std::vector<index_t>{8, 16}
+                                          : std::vector<index_t>{8, 16, 32};
+  for (const index_t scale : scales) {
     const auto a = gen::random_nonbipartite_connected(12, 30, rng);
     const auto b = gen::preferential_bipartite(6 * scale, 8 * scale,
                                                24 * scale, rng);
@@ -75,6 +79,17 @@ int main() {
     }
     const double rmat_s = t_rmat.seconds();
 
+    const std::string tag = "scale" + std::to_string(scale);
+    h.time_value("stream_" + tag, stream_s);
+    h.time_value("stream_truth_" + tag, truth_s);
+    h.time_value("materialize_" + tag, mat_s);
+    h.time_value("rmat_" + tag, rmat_s);
+    if (scale == scales.back()) {
+      h.counter("stream_medges_per_s", rate(entries, stream_s));
+      h.counter("stream_truth_medges_per_s", rate(entries, truth_s));
+      h.counter("materialize_medges_per_s", rate(entries, mat_s));
+      h.counter("rmat_medges_per_s", rate(rp.edges, rmat_s));
+    }
     std::printf("%12s | %10.1f %14.1f %12.1f | %10.1f\n",
                 format_count(entries / 2).c_str(),
                 rate(entries, stream_s), rate(entries, truth_s),

@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hpp"
 #include "kronlab/common/timer.hpp"
 #include "kronlab/gen/bter.hpp"
 #include "kronlab/gen/canonical.hpp"
@@ -72,7 +73,8 @@ void print_row(const char* name, const RowStats& rs, const char* how) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("generator_cc", bench::parse_args(argc, argv));
   std::printf("== generator families: closed structure at medium-low "
               "degrees ==\n\n");
   std::printf("%-24s %8s %8s | %9s %10s %12s\n", "generator", "edges",
@@ -87,10 +89,14 @@ int main() {
   const auto fb = gen::connected_random_bipartite(14, 14, 30, rng);
   const auto kp = kron::BipartiteKronecker::assumption_ii(fa, fb);
   {
+    Timer t;
     const auto c = kp.materialize();
     const auto s_truth = kron::vertex_squares(kp).materialize();
-    print_row("kronecker (A+I)(x)B", measure(c, s_truth),
-              "(per-vertex counts EXACT)");
+    const auto rs = measure(c, s_truth);
+    h.time_value("kronecker_measure", t.seconds());
+    h.counter("kronecker_midlow_frac_in_c4", rs.midlow_hit);
+    h.counter("kronecker_midlow_mean_closure", rs.midlow_closure);
+    print_row("kronecker (A+I)(x)B", rs, "(per-vertex counts EXACT)");
   }
   const count_t target_edges = kp.num_edges();
 
@@ -101,8 +107,9 @@ int main() {
     rp.scale_w = 8;
     rp.edges = target_edges;
     const auto g = gen::rmat_bipartite(rp, rng);
-    print_row("bipartite R-MAT", measure(g, graph::vertex_butterflies(g)),
-              "(measured)");
+    const auto rs = measure(g, graph::vertex_butterflies(g));
+    h.counter("rmat_midlow_frac_in_c4", rs.midlow_hit);
+    print_row("bipartite R-MAT", rs, "(measured)");
   }
 
   // BTER-lite tuned to the same scale.
@@ -114,15 +121,17 @@ int main() {
     bp.p_in = 0.16;
     bp.p_out = 0.004;
     const auto g = gen::bter_bipartite(bp, rng);
-    print_row("BTER-lite", measure(g, graph::vertex_butterflies(g)),
-              "(measured)");
+    const auto rs = measure(g, graph::vertex_butterflies(g));
+    h.counter("bter_midlow_frac_in_c4", rs.midlow_hit);
+    print_row("BTER-lite", rs, "(measured)");
   }
 
   // Uniform bipartite baseline.
   {
     const auto g = gen::random_bipartite(280, 280, target_edges, rng);
-    print_row("uniform G(nu,nw,m)",
-              measure(g, graph::vertex_butterflies(g)), "(measured)");
+    const auto rs = measure(g, graph::vertex_butterflies(g));
+    h.counter("uniform_midlow_frac_in_c4", rs.midlow_hit);
+    print_row("uniform G(nu,nw,m)", rs, "(measured)");
   }
 
   std::printf(

@@ -7,7 +7,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "harness/harness.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
 #include "kronlab/graph/butterflies.hpp"
 #include "kronlab/grb/kron.hpp"
@@ -92,11 +96,31 @@ BENCHMARK(BM_Transpose)->Arg(4)->Arg(16)->Arg(64);
 } // namespace
 
 int main(int argc, char** argv) {
-  metrics::set_enabled(true);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // Two flag namespaces share argv: --benchmark_* goes to google-benchmark,
+  // everything else to the shared harness (which rejects unknown flags).
+  std::vector<char*> bm_args{argv[0]};
+  std::vector<char*> our_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    (std::strncmp(argv[i], "--benchmark", 11) == 0 ? bm_args : our_args)
+        .push_back(argv[i]);
+  }
+  auto our_argc = static_cast<int>(our_args.size());
+  bench::Harness h("grb_micro",
+                   bench::parse_args(our_argc, our_args.data()));
+
+  // Quick mode trims each family to its smallest instances; the harness
+  // JSON still carries the full per-kernel parallel metrics snapshot.
+  std::string quick_filter = "--benchmark_filter=.*/(2|4)$";
+  if (h.quick()) bm_args.push_back(quick_filter.data());
+
+  auto bm_argc = static_cast<int>(bm_args.size());
+  benchmark::Initialize(&bm_argc, bm_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_args.data())) {
+    return 1;
+  }
+  const auto run = benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  h.counter("benchmarks_run", static_cast<double>(run));
   std::printf("\n== per-kernel parallel metrics ==\n%s",
               metrics::report_text().c_str());
   return 0;

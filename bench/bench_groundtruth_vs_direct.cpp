@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hpp"
 #include "kronlab/common/timer.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
 #include "kronlab/graph/butterflies.hpp"
@@ -25,14 +26,18 @@
 
 using namespace kronlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("groundtruth_vs_direct", bench::parse_args(argc, argv));
   std::printf("== X1: ground-truth formulas vs direct counting ==\n\n");
   std::printf("%10s %12s | %12s %14s | %12s %12s | %9s\n", "|V_C|", "|E_C|",
               "direct(s)", "(count+build)", "truth-glob(s)",
               "truth-vec(s)", "speedup");
 
   Rng rng(7);
-  for (const index_t scale : {4, 8, 16, 32, 48}) {
+  const std::vector<index_t> scales =
+      h.quick() ? std::vector<index_t>{4, 8, 16}
+                : std::vector<index_t>{4, 8, 16, 32, 48};
+  for (const index_t scale : scales) {
     // Grow BOTH factors: |E_C| = nnz(A)·nnz(B)/2 grows quadratically in
     // scale while factor-space work grows ~linearly — that separation is
     // the paper's complexity argument.
@@ -64,6 +69,14 @@ int main() {
                   static_cast<long long>(direct_total),
                   static_cast<long long>(truth_total));
       return 1;
+    }
+    const std::string tag = "scale" + std::to_string(scale);
+    h.time_value("direct_" + tag, direct_s);
+    h.time_value("truth_global_" + tag, glob_s);
+    h.time_value("truth_vector_" + tag, vec_s);
+    if (scale == scales.back()) {
+      h.counter("speedup_largest", direct_s / std::max(1e-9, glob_s));
+      h.counter("largest_edges", static_cast<double>(kp.num_edges()));
     }
     std::printf("%10s %12s | %12.4f %14s | %12.5f %12.5f | %8.1fx\n",
                 format_count(kp.num_vertices()).c_str(),

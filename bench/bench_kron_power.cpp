@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hpp"
 #include "kronlab/common/timer.hpp"
 #include "kronlab/gen/canonical.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
@@ -16,7 +17,8 @@
 
 using namespace kronlab;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("kron_power", bench::parse_args(argc, argv));
   std::printf("== k-fold Kronecker power scaling ==\n\n");
 
   Rng rng(73);
@@ -27,21 +29,24 @@ int main() {
               "18 edges)\n\n");
   std::printf("%3s %14s %16s %22s %12s\n", "k", "|V_C|", "|E_C|",
               "global 4-cycles", "truth time");
-  for (int k = 1; k <= 6; ++k) {
+  const int max_k = h.quick() ? 4 : 6;
+  int validated = 0;
+  for (int k = 1; k <= max_k; ++k) {
     std::vector<graph::Adjacency> factors(static_cast<std::size_t>(k - 1),
                                           base);
     factors.push_back(tail);
     const auto ck = kron::ChainKronecker::of(std::move(factors));
-    Timer t;
-    const count_t squares = ck.global_squares();
-    const double secs = t.seconds();
+    count_t squares = 0;
+    const auto st = h.time_section(
+        "global_squares_k" + std::to_string(k),
+        [&] { squares = ck.global_squares(); });
     std::printf("%3d %14s %16s %22s %12s\n", k,
                 format_count(ck.num_vertices()).c_str(),
                 format_count(ck.num_edges()).c_str(),
                 format_count(squares).c_str(),
-                format_duration(secs).c_str());
+                format_duration(st.mean_seconds).c_str());
     // Validate against direct counting while that is still feasible.
-    if (ck.num_edges() <= 2'000'000) {
+    if (ck.num_edges() <= (h.quick() ? 200'000 : 2'000'000)) {
       const auto direct =
           graph::global_butterflies(ck.materialize());
       if (direct != squares) {
@@ -49,8 +54,15 @@ int main() {
                     static_cast<long long>(direct));
         return 1;
       }
+      ++validated;
+    }
+    if (k == max_k) {
+      h.counter("max_k", static_cast<double>(k));
+      h.counter("largest_edges", static_cast<double>(ck.num_edges()));
+      h.counter("largest_squares", static_cast<double>(squares));
     }
   }
+  h.counter("levels_validated_directly", static_cast<double>(validated));
 
   std::printf("\n(rows with |E_C| <= 2M were re-counted directly and match "
               "exactly; beyond\nthat the product is never materialized — "

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hpp"
 #include "kronlab/gen/canonical.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
 #include "kronlab/graph/bipartite.hpp"
@@ -21,6 +22,9 @@
 using namespace kronlab;
 
 namespace {
+
+count_t thm6_violations = 0;
+double thm6_min_ratio_seen = 1e300;
 
 void thm6_row(const char* name, const kron::BipartiteKronecker& kp) {
   const auto samples = kron::clustering_samples(kp);
@@ -40,6 +44,8 @@ void thm6_row(const char* name, const kron::BipartiteKronecker& kp) {
     min_gap = std::min(min_gap, s.gamma_c - s.bound);
     if (s.gamma_c < s.bound - 1e-12) ++violations;
   }
+  thm6_violations += violations;
+  thm6_min_ratio_seen = std::min(thm6_min_ratio_seen, min_ratio);
   std::printf("%-26s edges=%7zu  min Γ_C/(Γ_AΓ_B)=%7.3f  mean=%8.3f  "
               "ψ_min=1/9=%.3f  violations=%lld\n",
               name, samples.size(), min_ratio,
@@ -58,7 +64,8 @@ kron::FactorCommunity prefix_community(const graph::Adjacency& a,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("scaling_laws", bench::parse_args(argc, argv));
   std::printf("== Thm 6: edge clustering coefficient scaling law ==\n\n");
   {
     Rng rng(2024);
@@ -134,5 +141,7 @@ int main() {
               "dense factor\ncommunities yield dense product communities; "
               "rho_out stays bounded — the\n'controllable' claim of "
               "contributions (c)-(d).)\n");
-  return 0;
+  h.counter("thm6_violations", static_cast<double>(thm6_violations));
+  h.counter("thm6_min_ratio", thm6_min_ratio_seen);
+  return thm6_violations == 0 ? 0 : 1;
 }

@@ -7,9 +7,11 @@
 // factors have wedges.  We make that concrete by printing the wing (k-wing
 // / bitruss) spectrum of products whose factors are entirely wing-0.
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
+#include "harness/harness.hpp"
 #include "kronlab/common/timer.hpp"
 #include "kronlab/gen/canonical.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
@@ -21,9 +23,16 @@ using namespace kronlab;
 
 namespace {
 
+bench::Harness* harness = nullptr;
+int rows_run = 0;
+count_t max_wing_seen = 0;
+
 void spectrum_row(const char* name, const graph::Adjacency& g) {
+  ++rows_run;
   Timer t;
   const auto d = graph::wing_decomposition(g);
+  harness->time_value("wing_row" + std::to_string(rows_run), t.seconds());
+  max_wing_seen = std::max(max_wing_seen, d.max_wing);
   std::map<count_t, count_t> hist;
   for (index_t i = 0; i < g.nrows(); ++i) {
     const auto cols = d.wing.row_cols(i);
@@ -51,7 +60,9 @@ void spectrum_row(const char* name, const graph::Adjacency& g) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("wing", bench::parse_args(argc, argv));
+  harness = &h;
   std::printf("== k-wing (bitruss) ground truth cannot be planted (§I) "
               "==\n\n");
 
@@ -79,6 +90,9 @@ int main() {
                            .p_out = 0.03};
   spectrum_row("  planted block (direct)",
                gen::planted_community_bipartite(pc, rng));
+
+  h.counter("rows", static_cast<double>(rows_run));
+  h.counter("max_wing_seen", static_cast<double>(max_wing_seen));
 
   std::printf("\nconclusion (matches §I): unlike triangles/trusses in the "
               "non-bipartite\nsetting, a zero-wing region of the factors "

@@ -22,12 +22,24 @@
 
 namespace kronlab::graph {
 
-/// Per-vertex 4-cycle participation s (Def. 8), by wedge counting.
-/// Requires an undirected, loop-free adjacency.
+/// Per-vertex 4-cycle participation s (Def. 8).  Dispatches to the
+/// degree-ordered blocked kernel (graph/blocked.hpp); bit-identical to
+/// vertex_butterflies_reference.  Requires an undirected, loop-free
+/// adjacency.
 grb::Vector<count_t> vertex_butterflies(const Adjacency& a);
 
 /// Per-edge 4-cycle participation ◇ (Def. 9), same structure as `a`.
+/// Dispatches to the degree-ordered blocked kernel.
 grb::Csr<count_t> edge_butterflies(const Adjacency& a);
+
+/// Reference wedge-table kernel (dense n-sized accumulator in original id
+/// order).  Retained as the cross-check partner for the blocked kernels —
+/// the randomized suite asserts bit-for-bit agreement.
+grb::Vector<count_t> vertex_butterflies_reference(const Adjacency& a);
+
+/// Reference per-edge wedge-table kernel; cross-check partner of
+/// edge_butterflies.
+grb::Csr<count_t> edge_butterflies_reference(const Adjacency& a);
 
 /// Global number of 4-cycles.
 count_t global_butterflies(const Adjacency& a);

@@ -2,6 +2,7 @@
 
 #include "kronlab/common/error.hpp"
 #include "kronlab/graph/bipartite.hpp"
+#include "kronlab/graph/butterflies.hpp"
 #include "kronlab/graph/graph.hpp"
 #include "kronlab/grb/masked.hpp"
 #include "kronlab/grb/ops.hpp"
@@ -215,6 +216,36 @@ count_t edge_squares_pointwise_thm5(count_t sq_ij, count_t d_i, count_t d_j,
                                     count_t d_l) {
   return 1 + (sq_ij + d_i + d_j - 1) * (sq_kl + d_k + d_l - 1) -
          d_i * d_k - d_j * d_l;
+}
+
+GroundTruthCheck verify_ground_truth(const BipartiteKronecker& kp) {
+  metrics::KernelScope scope("kron/verify_ground_truth");
+  GroundTruthCheck check;
+  const auto c = kp.materialize();
+
+  const auto truth_v = vertex_squares(kp).materialize();
+  const auto direct_v = graph::vertex_butterflies(c);
+  check.vertex_ok = truth_v == direct_v;
+  check.vertices_checked = c.nrows();
+
+  const auto factored_e = edge_squares(kp);
+  const auto direct_e = graph::edge_butterflies(c);
+  check.edge_ok = true;
+  for (index_t p = 0; p < c.nrows(); ++p) {
+    const auto cols = direct_e.row_cols(p);
+    const auto vals = direct_e.row_vals(p);
+    for (std::size_t e = 0; e < cols.size(); ++e) {
+      if (factored_e.at(p, cols[e]) != vals[e]) {
+        check.edge_ok = false;
+      }
+      ++check.edges_checked;
+    }
+  }
+
+  check.global_factored = global_squares(kp);
+  check.global_direct = graph::global_butterflies(c);
+  check.global_ok = check.global_factored == check.global_direct;
+  return check;
 }
 
 } // namespace kronlab::kron

@@ -100,4 +100,27 @@ count_t edge_squares_pointwise_thm5(count_t sq_ij, count_t d_i, count_t d_j,
                                     count_t sq_kl, count_t d_k,
                                     count_t d_l);
 
+// ---------------------------------------------------------------------------
+// Self-verification.
+
+/// Outcome of cross-checking the factored ground truth of one product
+/// against the direct (blocked, degree-ordered) counters on the
+/// materialized C.  This is the paper's mutual-validation loop packaged as
+/// one call: the formulas validate the counters and vice versa.
+struct GroundTruthCheck {
+  bool vertex_ok = false;  ///< s_C (Def. 8) matches per vertex
+  bool edge_ok = false;    ///< ◇_C (Def. 9) matches per stored edge
+  bool global_ok = false;  ///< #C4 matches
+  count_t global_factored = 0;
+  count_t global_direct = 0;
+  index_t vertices_checked = 0;
+  count_t edges_checked = 0;
+
+  [[nodiscard]] bool ok() const { return vertex_ok && edge_ok && global_ok; }
+};
+
+/// Materialize C = M ⊗ B and verify every factored 4-cycle statistic
+/// against direct counting.  O(|E_C| · d̄) — validation sizes only.
+GroundTruthCheck verify_ground_truth(const BipartiteKronecker& kp);
+
 } // namespace kronlab::kron

@@ -93,6 +93,13 @@ void KernelScope::note_worker(std::size_t worker, double busy_seconds,
   items_ += items;
 }
 
+ScopedRecording::ScopedRecording() : prev_(enabled()) {
+  set_enabled(true);
+  reset();
+}
+
+ScopedRecording::~ScopedRecording() { set_enabled(prev_); }
+
 std::map<std::string, KernelStats> snapshot() {
   auto& reg = registry();
   std::lock_guard lock(reg.mu);

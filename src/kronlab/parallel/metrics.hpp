@@ -79,6 +79,23 @@ private:
   std::uint64_t items_ = 0;
 };
 
+/// RAII recording window: enables recording and clears the registry on
+/// entry, restores the previous enabled state on exit (recorded stats are
+/// left in place for the caller to snapshot).  The bench harness opens one
+/// of these around every run so each BENCH_*.json carries exactly that
+/// run's per-kernel dispatch measurements.
+class ScopedRecording {
+public:
+  ScopedRecording();
+  ~ScopedRecording();
+
+  ScopedRecording(const ScopedRecording&) = delete;
+  ScopedRecording& operator=(const ScopedRecording&) = delete;
+
+private:
+  bool prev_;
+};
+
 /// Snapshot of the registry (kernel name → aggregated stats).
 [[nodiscard]] std::map<std::string, KernelStats> snapshot();
 
