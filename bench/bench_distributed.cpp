@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "harness/harness.hpp"
 #include "kronlab/common/timer.hpp"
@@ -16,6 +17,7 @@
 #include "kronlab/gen/random_bipartite.hpp"
 #include "kronlab/graph/butterflies.hpp"
 #include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/obs/trace.hpp"
 
 using namespace kronlab;
 
@@ -83,7 +85,7 @@ int main(int argc, char** argv) {
 
   // -------------------------------------------------------------------
   // Fault-injected recovery: the same pipeline under a hostile network
-  // (1% drop, 1% duplicate) with one rank killed mid-generation.  The
+  // (3% drop, 1% duplicate) with one rank killed mid-generation.  The
   // supervisor reassigns the dead rank's rows, restores its checkpoint,
   // and the count must still be bit-identical to the factored truth.
   std::printf("\n== fault-injected recovery (supervised pipeline) ==\n\n");
@@ -115,7 +117,7 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(ckpt_dir);
   dist::FaultPlan plan;
   plan.seed = 1;
-  plan.drop = 0.01;
+  plan.drop = 0.03;
   plan.duplicate = 0.01;
   plan.kill_rank = 1;
   plan.kill_point = "gen-block";
@@ -139,7 +141,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(ft_ranks),
               format_duration(fault_s).c_str(),
               rep.verified ? "yes" : "NO");
-  std::printf("  plan: drop=1%% dup=1%% kill rank 1 at gen-block (hit 2), "
+  std::printf("  plan: drop=3%% dup=1%% kill rank 1 at gen-block (hit 2), "
               "seed=%llu\n",
               static_cast<unsigned long long>(plan.seed));
   std::printf("  injected: %lld dropped, %lld duplicated, %lld delayed\n",
@@ -168,6 +170,27 @@ int main(int argc, char** argv) {
   h.counter("faulted_run_verified",
             rep.verified && rep.counted == truth ? 1.0 : 0.0);
   if (!rep.verified || rep.counted != truth || !clean_rep.verified) return 1;
+
+  // Under --trace <dir>, split the timeline into per-rank binary traces —
+  // the miniature of each MPI rank writing its own file — for
+  // `kronlab_trace convert` to merge back into one clock-aligned view.
+  if (!h.trace_dir().empty()) {
+    const auto events = trace::snapshot();
+    for (index_t r = 0; r < ft_ranks; ++r) {
+      const std::string want = "rank " + std::to_string(r);
+      std::vector<trace::TraceEvent> mine;
+      for (const auto& e : events) {
+        if (e.thread_name == want) mine.push_back(e);
+      }
+      const std::string path =
+          (std::filesystem::path(h.trace_dir()) /
+           ("rank_" + std::to_string(r) + ".trace"))
+              .string();
+      trace::write_binary_file(path, mine);
+      std::fprintf(stderr, "[bench harness] wrote %s (%zu events)\n",
+                   path.c_str(), mine.size());
+    }
+  }
 
   std::printf("\nthe same message pattern (replicated factors, shard-local "
               "generation,\nghost-row exchange, all-reduce of validated "

@@ -7,7 +7,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+
+#include "kronlab/obs/trace.hpp"
 
 namespace kronlab::bench {
 
@@ -17,7 +20,7 @@ namespace {
   std::fprintf(stderr,
                "unknown bench argument '%s'\n"
                "usage: bench_* [--quick] [--reps N] [--json PATH] "
-               "[--no-json]\n",
+               "[--no-json] [--trace PATH]\n",
                arg);
   std::exit(2);
 }
@@ -68,6 +71,8 @@ Options parse_args(int argc, char** argv) {
       if (opt.reps <= 0) usage_error(arg);
     } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
       opt.json_path = argv[++i];
+    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+      opt.trace_path = argv[++i];
     } else {
       usage_error(arg);
     }
@@ -76,7 +81,25 @@ Options parse_args(int argc, char** argv) {
 }
 
 Harness::Harness(std::string name, Options opt)
-    : name_(std::move(name)), opt_(std::move(opt)) {}
+    : name_(std::move(name)), opt_(std::move(opt)) {
+  if (!opt_.trace_path.empty()) {
+    trace::set_enabled(true);
+    trace::set_thread_name("main");
+    const auto& p = opt_.trace_path;
+    const bool json_only =
+        p.size() > 5 && p.compare(p.size() - 5, 5, ".json") == 0;
+    if (!json_only) {
+      trace_dir_ = p;
+      std::error_code ec;
+      std::filesystem::create_directories(trace_dir_, ec);
+      if (ec) {
+        std::fprintf(stderr, "bench harness: cannot create trace dir %s\n",
+                     trace_dir_.c_str());
+        std::exit(3);
+      }
+    }
+  }
+}
 
 Harness::~Harness() {
   // Dump even if the bench is mid-exit via an uncaught error path?  No:
@@ -116,6 +139,16 @@ TimingStats Harness::record_samples(const std::string& section,
 
 TimingStats Harness::time_value(const std::string& section, double seconds) {
   return record_samples(section, {seconds});
+}
+
+void Harness::fold_registry(bool into_last) {
+  const auto snap = metrics::snapshot();
+  if (snap.empty()) return;
+  metrics::reset();
+  for (const auto& [kernel, stats] : snap) {
+    metrics::merge(total_[kernel], stats);
+    if (into_last) metrics::merge(last_[kernel], stats);
+  }
 }
 
 void Harness::counter(const std::string& name, double value) {
@@ -167,14 +200,59 @@ std::string Harness::to_json() const {
   }
   out += labels_.empty() ? "},\n" : "\n  },\n";
 
-  out += "  \"parallel_metrics\": " + metrics::report_json() + "\n";
+  out += "  \"parallel_metrics\": " + metrics::report_json(last_) + ",\n";
+  out += "  \"parallel_metrics_total\": " + metrics::report_json(total_) +
+         "\n";
   out += "}\n";
   return out;
+}
+
+void Harness::export_trace() {
+  if (opt_.trace_path.empty()) return;
+  // Metrics ride along as counter tracks so kernel totals line up with
+  // the spans that produced them on one timeline.
+  for (const auto& [kernel, stats] : total_) {
+    trace::counter("metrics", trace::intern(kernel + ".wall_seconds"),
+                   stats.wall_seconds);
+    trace::counter("metrics", trace::intern(kernel + ".busy_seconds"),
+                   stats.busy_seconds);
+    trace::counter("metrics", trace::intern(kernel + ".calls"),
+                   static_cast<double>(stats.calls));
+  }
+  const auto events = trace::snapshot();
+  try {
+    if (trace_dir_.empty()) {
+      trace::write_chrome_file(opt_.trace_path, events);
+      std::fprintf(stderr, "[bench harness] wrote %s\n",
+                   opt_.trace_path.c_str());
+    } else {
+      const std::string bin = trace_dir_ + "/trace.bin";
+      const std::string json = trace_dir_ + "/trace.json";
+      trace::write_binary_file(bin, events);
+      trace::write_chrome_file(json, events);
+      std::fprintf(stderr, "[bench harness] wrote %s and %s\n", bin.c_str(),
+                   json.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench harness: trace export failed: %s\n",
+                 e.what());
+    std::exit(3);
+  }
+  if (const auto dropped = trace::dropped_events()) {
+    std::fprintf(stderr,
+                 "[bench harness] trace ring overflow: %llu events lost "
+                 "(raise KRONLAB_TRACE_BUFFER)\n",
+                 static_cast<unsigned long long>(dropped));
+  }
 }
 
 void Harness::write() {
   if (written_ || opt_.no_json) return;
   written_ = true;
+  // Catch kernels recorded after the final section; benches that only
+  // use time_value() get their whole run reported as the "last" snapshot.
+  fold_registry(/*into_last=*/last_.empty());
+  export_trace();
   const std::string path =
       opt_.json_path.empty() ? "BENCH_" + name_ + ".json" : opt_.json_path;
   std::ofstream f(path, std::ios::trunc);

@@ -10,8 +10,11 @@
 //
 //   * per-section timing statistics (repetitions, mean/min/max/stddev),
 //   * scalar counters and string labels the bench chose to record,
-//   * the per-kernel parallel/metrics snapshot for the whole run
-//     (the harness opens a metrics::ScopedRecording at construction),
+//   * two per-kernel parallel/metrics snapshots: "parallel_metrics" holds
+//     each section's final repetition only (warm-cache numbers, no
+//     cross-rep skew) and "parallel_metrics_total" sums every repetition
+//     (the harness opens a metrics::ScopedRecording at construction and
+//     folds the registry after each rep),
 //   * peak RSS and total wall time.
 //
 // Command line (parse_args): every bench accepts
@@ -20,6 +23,11 @@
 //   --json PATH    where to write the dump (default BENCH_<name>.json in
 //                  the working directory)
 //   --no-json      skip the dump (interactive runs that only want stdout)
+//   --trace PATH   enable obs/trace recording and export the timeline on
+//                  exit.  PATH ending in ".json" writes Chrome trace JSON
+//                  only; anything else is treated as a directory that
+//                  receives trace.bin + trace.json (and, for distributed
+//                  benches, per-rank rank_<r>.trace files).
 
 #pragma once
 
@@ -38,6 +46,7 @@ struct Options {
   int reps = 0; ///< 0 = keep each section's default
   std::string json_path; ///< empty = BENCH_<name>.json
   bool no_json = false;
+  std::string trace_path; ///< empty = tracing off (see --trace above)
 };
 
 /// Parse the common bench flags; exits with a usage message on unknown
@@ -72,16 +81,21 @@ public:
   [[nodiscard]] int reps_for(int default_reps) const;
 
   /// Run `fn` reps_for(default_reps) times, record and return the stats.
+  /// The metrics registry is folded away after every repetition so one
+  /// rep's kernel stats never bleed into the next: the final rep lands in
+  /// both the "last" and "total" snapshots, earlier reps in "total" only.
   template <typename F>
   TimingStats time_section(const std::string& section, F&& fn,
                            int default_reps = 3) {
     const int reps = reps_for(default_reps);
+    fold_registry(false); // out-of-section kernels count toward the total
     std::vector<double> samples;
     samples.reserve(static_cast<std::size_t>(reps));
     for (int r = 0; r < reps; ++r) {
       Timer t;
       fn();
       samples.push_back(t.seconds());
+      fold_registry(/*into_last=*/r == reps - 1);
     }
     return record_samples(section, samples);
   }
@@ -96,11 +110,22 @@ public:
   void label(const std::string& name, std::string value);
 
   /// Write BENCH_<name>.json now (idempotent; the destructor then skips).
+  /// When --trace was given, also folds the metrics totals into the trace
+  /// as counter events and exports the timeline (see the --trace doc).
   void write();
+
+  /// Directory receiving trace files, or "" when --trace is off or names
+  /// a single .json file.  Distributed benches drop per-rank binaries
+  /// here before write() runs.
+  [[nodiscard]] const std::string& trace_dir() const { return trace_dir_; }
 
 private:
   TimingStats record_samples(const std::string& section,
                              const std::vector<double>& samples);
+  /// Snapshot + reset the metrics registry, merging into the run total
+  /// and, when `into_last`, into the reported per-section-final snapshot.
+  void fold_registry(bool into_last);
+  void export_trace();
   [[nodiscard]] std::string to_json() const;
 
   std::string name_;
@@ -110,6 +135,9 @@ private:
   std::vector<std::pair<std::string, TimingStats>> timings_;
   std::map<std::string, double> counters_;
   std::map<std::string, std::string> labels_;
+  std::map<std::string, metrics::KernelStats> last_;  ///< final reps only
+  std::map<std::string, metrics::KernelStats> total_; ///< every rep
+  std::string trace_dir_;
   bool written_ = false;
 };
 

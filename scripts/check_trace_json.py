@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate kronlab Chrome trace-event JSON (schema kronlab-trace-v1).
+
+Usage: check_trace_json.py [--require-event NAME ...] TRACE.json [...]
+
+Checks the traces the bench harness (--trace) and kronlab_trace write:
+the traceEvents structure, per-event phase/field types, finite numbers,
+and the otherData schema tag.  --require-event NAME fails unless an event
+with that exact name is present (CI uses it to assert the fault-injected
+distributed run really recorded its drop/retry annotations).  Exits
+nonzero on the first malformed file.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA = "kronlab-trace-v1"
+
+# Phases the kronlab writer emits, and the extra fields each carries.
+PHASES = {
+    "X": {"dur": (int, float)},
+    "i": {"s": str},
+    "C": {},
+    "M": {},
+}
+
+
+class Malformed(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise Malformed(msg)
+
+
+def check_number(val, where):
+    require(
+        isinstance(val, (int, float)) and not isinstance(val, bool),
+        f"{where}: not a number",
+    )
+    require(math.isfinite(float(val)), f"{where}: not finite")
+
+
+def check_event(ev, where):
+    require(isinstance(ev, dict), f"{where}: expected object")
+    require("ph" in ev and isinstance(ev["ph"], str), f"{where}: missing ph")
+    ph = ev["ph"]
+    require(ph in PHASES, f"{where}: unknown phase '{ph}'")
+    for key in ("pid", "tid"):
+        require(key in ev, f"{where}: missing {key}")
+        check_number(ev[key], f"{where}.{key}")
+    require("name" in ev and isinstance(ev["name"], str) and ev["name"],
+            f"{where}: missing or empty name")
+    if ph != "M":
+        require("ts" in ev, f"{where}: missing ts")
+        check_number(ev["ts"], f"{where}.ts")
+        require(ev["ts"] >= 0, f"{where}: negative ts")
+        require("cat" in ev and isinstance(ev["cat"], str),
+                f"{where}: missing cat")
+    for key, typ in PHASES[ph].items():
+        require(key in ev, f"{where}: phase {ph} missing {key}")
+        val = ev[key]
+        require(isinstance(val, typ) and not (typ is not bool and
+                                              isinstance(val, bool)),
+                f"{where}.{key}: wrong type")
+        if isinstance(val, float):
+            require(math.isfinite(val), f"{where}.{key}: not finite")
+    if ph == "X":
+        require(ev["dur"] >= 0, f"{where}: negative dur")
+    if ph == "C":
+        args = ev.get("args")
+        require(isinstance(args, dict) and "value" in args,
+                f"{where}: counter without args.value")
+        check_number(args["value"], f"{where}.args.value")
+    if ph == "M":
+        require(ev["name"] == "thread_name",
+                f"{where}: unexpected metadata '{ev['name']}'")
+        args = ev.get("args")
+        require(isinstance(args, dict) and isinstance(args.get("name"), str),
+                f"{where}: thread_name without args.name")
+
+
+def check_file(path, required_events):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    require(isinstance(doc, dict), f"{path}: top level is not an object")
+    require(isinstance(doc.get("traceEvents"), list),
+            f"{path}: missing traceEvents array")
+    other = doc.get("otherData")
+    require(isinstance(other, dict), f"{path}: missing otherData")
+    require(other.get("schema") == SCHEMA,
+            f"{path}: otherData.schema '{other.get('schema')}' != '{SCHEMA}'")
+    epoch = other.get("epoch_unix_ns")
+    require(isinstance(epoch, str) and epoch.isdigit(),
+            f"{path}: otherData.epoch_unix_ns must be a digit string")
+
+    counts = {ph: 0 for ph in PHASES}
+    names = set()
+    for i, ev in enumerate(doc["traceEvents"]):
+        where = f"{path}: traceEvents[{i}]"
+        check_event(ev, where)
+        counts[ev["ph"]] += 1
+        if ev["ph"] != "M":
+            names.add(ev["name"])
+
+    for name in required_events:
+        require(name in names, f"{path}: required event '{name}' not found")
+
+    return counts
+
+
+def main(argv):
+    required = []
+    paths = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--require-event":
+            if i + 1 >= len(argv):
+                print(__doc__.strip(), file=sys.stderr)
+                return 2
+            required.append(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        try:
+            counts = check_file(path, required)
+        except (OSError, json.JSONDecodeError, Malformed) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {path} ({counts['X']} spans, {counts['i']} instants, "
+                  f"{counts['C']} counters, {counts['M']} threads)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

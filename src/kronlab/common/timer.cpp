@@ -5,6 +5,41 @@
 
 namespace kronlab {
 
+namespace timer {
+
+namespace {
+
+struct Epoch {
+  std::chrono::steady_clock::time_point steady;
+  std::uint64_t unix_ns;
+};
+
+const Epoch& epoch() {
+  static const Epoch e = [] {
+    Epoch out;
+    out.steady = std::chrono::steady_clock::now();
+    out.unix_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return out;
+  }();
+  return e;
+}
+
+} // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch().steady)
+          .count());
+}
+
+std::uint64_t epoch_unix_ns() { return epoch().unix_ns; }
+
+} // namespace timer
+
 std::string format_duration(double seconds) {
   char buf[64];
   if (seconds >= 1.0) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 
 namespace kronlab {
@@ -27,6 +28,21 @@ private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+namespace timer {
+
+/// Nanoseconds on the steady clock since the process-wide epoch (anchored
+/// the first time any timing subsystem runs).  Both parallel/metrics and
+/// obs/trace stamp with this, so their timestamps are directly comparable
+/// and land on one timeline.
+[[nodiscard]] std::uint64_t now_ns();
+
+/// CLOCK_REALTIME nanoseconds corresponding to now_ns() == 0.  Stored in
+/// trace file headers so traces from different processes can be aligned
+/// onto one wall-clock timeline.
+[[nodiscard]] std::uint64_t epoch_unix_ns();
+
+} // namespace timer
 
 /// Format a duration like "1.23 s" / "45.6 ms" / "789 us" for reports.
 std::string format_duration(double seconds);

@@ -1,11 +1,13 @@
 #include "kronlab/dist/comm.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <map>
 #include <thread>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/obs/trace.hpp"
 
 namespace kronlab::dist {
 
@@ -80,12 +82,13 @@ struct Runtime {
 
   enum class Action { deliver, drop, duplicate, delay };
 
-  Action decide(index_t from, index_t to, int tag) {
+  Action decide(index_t from, index_t to, int tag, std::uint64_t* seq_out) {
     if (!plan || !plan->injects_message_faults()) return Action::deliver;
     if (tag < 0 && plan->exempt_collectives) return Action::deliver;
     const std::uint64_t seq =
         channel_seq[static_cast<std::size_t>(from * size + to)].fetch_add(
             1, std::memory_order_relaxed);
+    if (seq_out) *seq_out = seq;
     const double u = uniform_from(mix64(
         plan->seed ^ mix64(static_cast<std::uint64_t>(from * size + to)) ^
         (seq * 0x9e3779b97f4a7c15ULL)));
@@ -93,6 +96,19 @@ struct Runtime {
     if (u < plan->drop + plan->duplicate) return Action::duplicate;
     if (u < plan->drop + plan->duplicate + plan->delay) return Action::delay;
     return Action::deliver;
+  }
+
+  /// Timeline annotation for an injected fault: which message (channel
+  /// sequence number) between which ranks, on which tag.
+  static void note_fault(const char* what, index_t from, index_t to, int tag,
+                         std::uint64_t seq) {
+    if (!trace::enabled()) return;
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "from=%lld to=%lld tag=%d seq=%llu",
+                  static_cast<long long>(from), static_cast<long long>(to),
+                  tag, static_cast<unsigned long long>(seq));
+    trace::instant("dist", what, trace::intern(buf));
   }
 
   // Caller holds box.mutex.
@@ -122,9 +138,11 @@ struct Runtime {
     if (dead[static_cast<std::size_t>(to)].load(std::memory_order_acquire)) {
       return; // network to a dead host
     }
-    const Action action = decide(from, to, tag);
+    std::uint64_t seq = 0;
+    const Action action = decide(from, to, tag, &seq);
     if (action == Action::drop) {
       stat_dropped.fetch_add(1, std::memory_order_relaxed);
+      note_fault("fault/drop", from, to, tag, seq);
       return;
     }
     auto& box = mailboxes[static_cast<std::size_t>(to)];
@@ -135,11 +153,13 @@ struct Runtime {
       switch (action) {
         case Action::duplicate:
           stat_duplicated.fetch_add(1, std::memory_order_relaxed);
+          note_fault("fault/duplicate", from, to, tag, seq);
           box.queues[{from, tag}].push_back(msg);
           box.queues[{from, tag}].push_back(std::move(msg));
           break;
         case Action::delay:
           stat_delayed.fetch_add(1, std::memory_order_relaxed);
+          note_fault("fault/delay", from, to, tag, seq);
           box.delayed.push_back(
               {from, tag, std::move(msg),
                box.delivery_count +
@@ -299,7 +319,14 @@ void Comm::fault_point(const char* point) {
   if (!plan || plan->kill_rank != rank_ || plan->kill_point != point) return;
   const std::uint64_t hit =
       rt_->kill_hits_seen.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (hit == plan->kill_hits) throw detail::killed{};
+  if (hit == plan->kill_hits) {
+    if (trace::enabled()) {
+      trace::instant("dist", "fault/kill",
+                     trace::intern("point=" + std::string(point) +
+                                   " rank=" + std::to_string(rank_)));
+    }
+    throw detail::killed{};
+  }
 }
 
 FaultStats Comm::fault_stats() const {
@@ -436,7 +463,11 @@ void run_impl(index_t ranks, const FaultPlan* plan,
   std::exception_ptr first_error;
   for (index_t r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
+      trace::set_thread_name("rank " + std::to_string(r));
       try {
+        // The rank's whole lifetime is one span; a killed rank's span ends
+        // at the kill, so truncated tracks are visible on the timeline.
+        trace::Span span("dist", "rank");
         Comm comm = rt.make_comm(r);
         fn(comm);
       } catch (const detail::killed&) {

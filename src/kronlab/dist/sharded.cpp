@@ -9,6 +9,7 @@
 
 #include "kronlab/common/error.hpp"
 #include "kronlab/grb/binary_io.hpp"
+#include "kronlab/obs/trace.hpp"
 #include "kronlab/grb/coo.hpp"
 #include "kronlab/kron/ground_truth.hpp"
 #include "kronlab/kron/stream.hpp"
@@ -97,6 +98,19 @@ std::size_t owner_pos(const std::vector<word_t>& row_begins, index_t v) {
   return lo;
 }
 
+/// Timeline annotation for a protocol event: this rank, the peer, the
+/// exchange epoch (the protocol's message sequence number), and the
+/// attempt count.  Only formatted when tracing is live.
+void note_protocol(const char* what, index_t rank, index_t peer,
+                   word_t epoch, int attempt) {
+  if (!trace::enabled()) return;
+  trace::instant("dist", what,
+                 trace::intern("rank=" + std::to_string(rank) +
+                               " peer=" + std::to_string(peer) +
+                               " epoch=" + std::to_string(epoch) +
+                               " attempt=" + std::to_string(attempt)));
+}
+
 milliseconds backed_off(milliseconds t, const RetryConfig& cfg) {
   const auto next = milliseconds(
       static_cast<milliseconds::rep>(static_cast<double>(t.count()) *
@@ -161,6 +175,12 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
     Comm& comm, const Shard& shard, const std::vector<index_t>& members,
     const std::vector<std::vector<index_t>>& needed, word_t epoch,
     const RetryConfig& cfg, ExchangeStats& stats) {
+  trace::Span exchange_span(
+      "dist", "ghost_exchange",
+      trace::enabled()
+          ? trace::intern("rank=" + std::to_string(comm.rank()) +
+                          " epoch=" + std::to_string(epoch))
+          : nullptr);
   std::unordered_map<index_t, std::vector<index_t>> ghost;
   std::vector<PeerState> peers;
   std::unordered_map<index_t, std::size_t> peer_pos;
@@ -213,6 +233,8 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
           ps->ack_deadline = clock::now() + ps->ack_timeout;
         } else {
           ++stats.dup_requests;
+          note_protocol("exchange/dup_request", comm.rank(), from, epoch,
+                        ps->reply_attempts);
         }
         comm.send(from, kExchTag, ps->reply);
       } else {
@@ -241,6 +263,8 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
         --awaiting_replies;
       } else {
         ++stats.dup_replies;
+        note_protocol("exchange/dup_reply", comm.rank(), from,
+                      static_cast<word_t>(msg_epoch), 0);
       }
       // Always (re-)ack with the message's own epoch so a responder stuck
       // on a lost ack from an earlier exchange can retire it.
@@ -323,6 +347,8 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
               " retries (rank " + std::to_string(comm.rank()) + ")");
         }
         ++stats.retries;
+        note_protocol("exchange/retry", comm.rank(), ps.rank, epoch,
+                      ps.req_attempts);
         comm.send(ps.rank, kExchTag, ps.request);
         ps.req_timeout = backed_off(ps.req_timeout, cfg);
         ps.req_deadline = t + ps.req_timeout;
@@ -342,6 +368,8 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
               " resends (rank " + std::to_string(comm.rank()) + ")");
         }
         ++stats.reply_resends;
+        note_protocol("exchange/resend", comm.rank(), ps.rank, epoch,
+                      ps.reply_attempts);
         comm.send(ps.rank, kExchTag, ps.reply);
         ps.ack_timeout = backed_off(ps.ack_timeout, cfg);
         ps.ack_deadline = t + ps.ack_timeout;
@@ -366,6 +394,7 @@ Shard generate_shard_checkpointed(Comm& comm,
                                   const kron::PartitionedStream& ps,
                                   const CheckpointConfig& ckpt,
                                   count_t* checkpoints_written) {
+  KRONLAB_TRACE_SPAN("dist", "generate_shard");
   const auto [llo, lhi] = ps.owned_left_rows(comm.rank());
   const index_t nb = kp.right().nrows();
   Shard shard;
@@ -390,6 +419,11 @@ Shard generate_shard_checkpointed(Comm& comm,
       snap.payload = grb::Csr<count_t>::from_coo(partial);
       grb::write_snapshot_file(checkpoint_path(ckpt, comm.rank()), snap);
       if (checkpoints_written) ++*checkpoints_written;
+      if (trace::enabled()) {
+        trace::instant("dist", "checkpoint/write",
+                       trace::intern("rank=" + std::to_string(comm.rank()) +
+                                     " left_done=" + std::to_string(end)));
+      }
     }
     // A fault plan can kill this rank here — "mid-generation", after the
     // checkpoint for the completed blocks has been persisted.
@@ -402,6 +436,7 @@ Shard generate_shard_checkpointed(Comm& comm,
 count_t distributed_global_butterflies(Comm& comm, const Shard& shard,
                                        const RetryConfig& retry,
                                        ExchangeStats* stats) {
+  KRONLAB_TRACE_SPAN("dist", "distributed_butterflies");
   const word_t epoch = comm.next_epoch();
   const auto members = comm.live_ranks();
   const auto mcount = members.size();
@@ -463,6 +498,7 @@ count_t distributed_global_butterflies(Comm& comm, const Shard& shard,
   };
 
   // ---- phase 3: local wedge counting of owned vertices ----------------
+  KRONLAB_TRACE_SPAN("dist", "wedge_count");
   std::vector<count_t> cnt(static_cast<std::size_t>(shard.n), 0);
   std::vector<index_t> touched;
   count_t local_sum = 0;
@@ -493,6 +529,7 @@ count_t ground_truth_squares_impl(Comm& comm,
                                   const kron::BipartiteKronecker& kp,
                                   index_t lo, index_t hi,
                                   const std::vector<index_t>* members) {
+  KRONLAB_TRACE_SPAN("dist", "ground_truth_squares");
   // Rank-local share of Σ_p s_C(p): the factored sum restricted to owned
   // left-factor rows — Σ_s c_s · (Σ_{i owned} g_s[i]) · sum(h_s).
   const auto sv = kron::vertex_squares(kp);
@@ -530,6 +567,7 @@ RecoveryReport supervised_global_butterflies(
     Comm& comm, const kron::BipartiteKronecker& kp,
     const kron::PartitionedStream& ps, const CheckpointConfig& ckpt,
     const RetryConfig& retry) {
+  KRONLAB_TRACE_SPAN("dist", "supervised_butterflies");
   KRONLAB_REQUIRE(ps.parts() == comm.size(),
                   "partition width must equal the rank count");
   const index_t me = comm.rank();
@@ -561,6 +599,7 @@ RecoveryReport supervised_global_butterflies(
             ? ps.owned_left_rows(members[pos + 1]).first
             : kp.left().nrows();
     if (new_lhi > my_lhi) {
+      KRONLAB_TRACE_SPAN("dist", "reassign_rows");
       grb::Coo<count_t> coo((new_lhi - my_llo) * nb, shard.n);
       coo.reserve(expected_entries(kp, my_llo, new_lhi));
       append_csr_rows(coo, shard.rows, 0);
@@ -585,6 +624,12 @@ RecoveryReport supervised_global_butterflies(
               append_csr_rows(coo, snap.payload, (dlo - my_llo) * nb);
               done = snap.meta[4];
               ++ckpts_restored;
+              if (trace::enabled()) {
+                trace::instant(
+                    "dist", "checkpoint/restore",
+                    trace::intern("dead_rank=" + std::to_string(d) +
+                                  " left_done=" + std::to_string(done)));
+              }
             }
           } catch (const io_error&) {
             // Missing or corrupt (checksum-failed) checkpoint: fall back
@@ -611,6 +656,7 @@ RecoveryReport supervised_global_butterflies(
   // The factored oracle (Thms 3–5) is cheap enough to re-evaluate after
   // every recovery: a corrupted or mis-recovered shard cannot produce a
   // bit-identical global count *and* a matching entry census.
+  KRONLAB_TRACE_SPAN("dist", "self_verify");
   const count_t truth = distributed_ground_truth_squares(
       comm, kp, {my_llo, my_lhi}, members);
   const bool local_entries_ok =

@@ -6,6 +6,7 @@
 #include "kronlab/common/error.hpp"
 #include "kronlab/graph/butterflies.hpp"
 #include "kronlab/grb/ops.hpp"
+#include "kronlab/obs/trace.hpp"
 
 namespace kronlab::graph {
 
@@ -52,6 +53,7 @@ void alive_wedge_table(const Adjacency& a, const std::vector<char>& alive,
 
 TipDecomposition tip_decomposition(const Adjacency& a,
                                    const Bipartition& part, int side) {
+  KRONLAB_TRACE_SPAN("graph", "tip_decomposition");
   require_valid(a, part, side, "tip_decomposition");
   const auto n = static_cast<std::size_t>(a.nrows());
 

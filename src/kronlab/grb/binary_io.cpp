@@ -7,8 +7,16 @@
 #include <ostream>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/obs/trace.hpp"
 
 namespace kronlab::grb {
+
+namespace {
+/// Trace detail for file-io spans: the path, interned only when tracing.
+const char* io_detail(const std::string& path) {
+  return trace::enabled() ? trace::intern(path) : nullptr;
+}
+} // namespace
 
 std::uint64_t fnv1a64(const void* data, std::size_t nbytes,
                       std::uint64_t basis) {
@@ -129,12 +137,14 @@ Csr<count_t> read_binary(std::istream& in) {
 }
 
 void write_binary_file(const std::string& path, const Csr<count_t>& a) {
+  trace::Span span("io", "write_binary", io_detail(path));
   std::ofstream out(path, std::ios::binary);
   if (!out) throw io_error("cannot open for writing: " + path);
   write_binary(out, a);
 }
 
 Csr<count_t> read_binary_file(const std::string& path) {
+  trace::Span span("io", "read_binary", io_detail(path));
   std::ifstream in(path, std::ios::binary);
   if (!in) throw io_error("cannot open: " + path);
   return read_binary(in);
@@ -185,6 +195,7 @@ SnapshotEnvelope read_snapshot(std::istream& in) {
 
 void write_snapshot_file(const std::string& path,
                          const SnapshotEnvelope& snap) {
+  trace::Span span("io", "write_snapshot", io_detail(path));
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -197,6 +208,7 @@ void write_snapshot_file(const std::string& path,
 }
 
 SnapshotEnvelope read_snapshot_file(const std::string& path) {
+  trace::Span span("io", "read_snapshot", io_detail(path));
   std::ifstream in(path, std::ios::binary);
   if (!in) throw io_error("cannot open: " + path);
   return read_snapshot(in);

@@ -2,6 +2,7 @@
 
 #include "kronlab/common/error.hpp"
 #include "kronlab/grb/ops.hpp"
+#include "kronlab/obs/trace.hpp"
 
 namespace kronlab::kron {
 
@@ -13,6 +14,7 @@ std::optional<double> edge_clustering(count_t squares, count_t d_i,
 }
 
 grb::Csr<double> edge_clustering_matrix(const Adjacency& a) {
+  KRONLAB_TRACE_SPAN("kron", "edge_clustering_matrix");
   const auto sq = edge_squares_formula(a);
   const auto d = grb::reduce_rows(a);
   grb::Csr<double> out(
@@ -44,6 +46,7 @@ double psi(count_t d_i, count_t d_j, count_t d_k, count_t d_l) {
 
 std::vector<ClusteringSample> clustering_samples(
     const BipartiteKronecker& kp, index_t max_samples) {
+  KRONLAB_TRACE_SPAN("kron", "clustering_samples");
   const auto& m = kp.left();
   const auto& b = kp.right();
   if (!grb::has_no_self_loops(m)) {

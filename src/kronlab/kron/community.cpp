@@ -4,6 +4,7 @@
 
 #include "kronlab/common/error.hpp"
 #include "kronlab/kron/index_map.hpp"
+#include "kronlab/obs/trace.hpp"
 
 namespace kronlab::kron {
 
@@ -38,6 +39,7 @@ double FactorCommunity::rho_out() const {
 FactorCommunity measure_factor_community(const Adjacency& a,
                                          const graph::Bipartition& part,
                                          const graph::BipartiteSubset& s) {
+  KRONLAB_TRACE_SPAN("kron", "measure_factor_community");
   const auto stats = graph::community_stats(a, part, s);
   FactorCommunity fc;
   fc.subset = s;
@@ -58,6 +60,7 @@ double ProductCommunity::rho_out() const {
 
 ProductCommunity product_community(const FactorCommunity& sa,
                                    const FactorCommunity& sb) {
+  KRONLAB_TRACE_SPAN("kron", "product_community");
   const count_t size_a = sa.size();
   ProductCommunity pc;
   // Thm 7.
@@ -76,6 +79,7 @@ graph::BipartiteSubset product_subset(const FactorCommunity& sa,
                                       const FactorCommunity& sb,
                                       const graph::Bipartition& part_b,
                                       index_t n_b) {
+  KRONLAB_TRACE_SPAN("kron", "product_subset");
   KRONLAB_REQUIRE(static_cast<index_t>(part_b.side.size()) == n_b,
                   "bipartition size mismatch with n_b");
   graph::BipartiteSubset out;

@@ -5,6 +5,7 @@
 #include "kronlab/grb/kron.hpp"
 #include "kronlab/grb/ops.hpp"
 #include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/obs/trace.hpp"
 
 namespace kronlab::kron {
 
@@ -116,6 +117,7 @@ bool ChainKronecker::product_bipartite() const {
 }
 
 Adjacency ChainKronecker::materialize() const {
+  KRONLAB_TRACE_SPAN("kron", "chain_materialize");
   Adjacency acc = factors_.front();
   for (std::size_t f = 1; f < factors_.size(); ++f) {
     acc = grb::kron(acc, factors_[f]);
@@ -124,6 +126,7 @@ Adjacency ChainKronecker::materialize() const {
 }
 
 KFactoredVector ChainKronecker::degrees() const {
+  KRONLAB_TRACE_SPAN("kron", "chain_degrees");
   std::vector<index_t> sizes;
   std::vector<grb::Vector<count_t>> d;
   for (const auto& f : factors_) {
@@ -136,6 +139,7 @@ KFactoredVector ChainKronecker::degrees() const {
 }
 
 KFactoredVector ChainKronecker::vertex_squares() const {
+  KRONLAB_TRACE_SPAN("kron", "chain_vertex_squares");
   std::vector<index_t> sizes;
   std::vector<FactorStats> stats;
   for (const auto& f : factors_) {
@@ -157,6 +161,7 @@ KFactoredVector ChainKronecker::vertex_squares() const {
 }
 
 count_t ChainKronecker::global_squares() const {
+  KRONLAB_TRACE_SPAN("kron", "chain_global_squares");
   return vertex_squares().reduce() / 4;
 }
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "kronlab/obs/trace.hpp"
+
 namespace kronlab::metrics {
 
 namespace {
@@ -53,17 +55,27 @@ void set_enabled(bool on) {
 }
 
 KernelScope::KernelScope(std::string name) : name_(std::move(name)) {
+  // Kernel scopes double as trace spans: every instrumented kernel lands
+  // on the timeline even when metrics aggregation is off.
+  if (trace::enabled()) {
+    trace_name_ = trace::intern(name_);
+    start_ns_ = timer::now_ns();
+  }
   if (!enabled()) return;
   active_ = true;
   parent_ = tl_current;
   tl_current = this;
-  timer_.reset();
+  if (trace_name_ == nullptr) start_ns_ = timer::now_ns();
 }
 
 KernelScope::~KernelScope() {
+  if (trace_name_ != nullptr) {
+    trace::emit_span("kernel", trace_name_, start_ns_, timer::now_ns());
+  }
   if (!active_) return;
   tl_current = parent_;
-  const double wall = timer_.seconds();
+  const double wall =
+      static_cast<double>(timer::now_ns() - start_ns_) * 1e-9;
   double busy = 0.0, max_busy = 0.0;
   for (const double b : worker_busy_) {
     busy += b;
@@ -112,6 +124,16 @@ void reset() {
   reg.kernels.clear();
 }
 
+void merge(KernelStats& into, const KernelStats& other) {
+  into.calls += other.calls;
+  into.wall_seconds += other.wall_seconds;
+  into.busy_seconds += other.busy_seconds;
+  into.max_worker_seconds += other.max_worker_seconds;
+  into.chunks += other.chunks;
+  into.items += other.items;
+  into.max_workers = std::max(into.max_workers, other.max_workers);
+}
+
 std::string report_text() {
   const auto kernels = snapshot();
   std::vector<std::pair<std::string, KernelStats>> rows(kernels.begin(),
@@ -139,8 +161,9 @@ std::string report_text() {
   return out;
 }
 
-std::string report_json() {
-  const auto kernels = snapshot();
+std::string report_json() { return report_json(snapshot()); }
+
+std::string report_json(const std::map<std::string, KernelStats>& kernels) {
   std::string out = "{\"kernels\":[";
   bool first = true;
   char buf[384];

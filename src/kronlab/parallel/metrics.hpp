@@ -68,9 +68,15 @@ public:
   void note_worker(std::size_t worker, double busy_seconds,
                    std::uint64_t chunks, std::uint64_t items);
 
+  /// Arena-interned kernel name when tracing was enabled at construction
+  /// (nullptr otherwise).  The dynamic dispatchers label per-worker trace
+  /// spans with it.
+  [[nodiscard]] const char* trace_name() const { return trace_name_; }
+
 private:
   std::string name_;
-  Timer timer_;
+  std::uint64_t start_ns_ = 0; ///< timer::now_ns() at construction
+  const char* trace_name_ = nullptr;
   KernelScope* parent_ = nullptr;
   bool active_ = false;
   std::mutex mu_;
@@ -102,10 +108,18 @@ private:
 /// Drop all recorded stats (enabled/disabled state is unchanged).
 void reset();
 
+/// Fold `other` into `into` (sums everything, max of max_workers) — used
+/// by the bench harness to combine per-rep registry snapshots.
+void merge(KernelStats& into, const KernelStats& other);
+
 /// Human-readable table, one kernel per line, sorted by wall time.
 [[nodiscard]] std::string report_text();
 
 /// Machine-readable dump: {"kernels": [{"name": ..., ...}, ...]}.
 [[nodiscard]] std::string report_json();
+
+/// Same, for an explicit snapshot instead of the live registry.
+[[nodiscard]] std::string report_json(
+    const std::map<std::string, KernelStats>& kernels);
 
 } // namespace kronlab::metrics

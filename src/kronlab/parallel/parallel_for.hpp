@@ -30,6 +30,7 @@
 
 #include "kronlab/common/timer.hpp"
 #include "kronlab/common/types.hpp"
+#include "kronlab/obs/trace.hpp"
 #include "kronlab/parallel/metrics.hpp"
 #include "kronlab/parallel/thread_pool.hpp"
 
@@ -138,7 +139,14 @@ void parallel_for_range_dynamic_scratch(index_t lo, index_t hi,
   }
   std::atomic<index_t> next{lo};
   std::atomic<bool> failed{false};
+  // Worker busy windows show up as one "parallel" span per worker on the
+  // timeline, labelled with the innermost kernel scope's name.
+  const char* const span_name =
+      scope != nullptr && scope->trace_name() != nullptr
+          ? scope->trace_name()
+          : "workers";
   pool.run([&](std::size_t id) {
+    trace::Span tspan("parallel", span_name);
     Timer timer;
     std::uint64_t chunks = 0;
     std::uint64_t items = 0;

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "kronlab/obs/trace.hpp"
+
 namespace kronlab {
 
 namespace {
@@ -33,6 +35,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(std::size_t id) {
+  trace::set_thread_name("worker " + std::to_string(id));
   std::size_t seen_epoch = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
