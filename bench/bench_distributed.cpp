@@ -135,7 +135,8 @@ int main(int argc, char** argv) {
 
   std::string dead;
   for (const auto r : rep.dead_ranks) {
-    dead += (dead.empty() ? "" : ",") + std::to_string(r);
+    if (!dead.empty()) dead += ',';
+    dead += std::to_string(r);
   }
   std::printf("faulted run (%lld ranks): %s  verified=%s\n",
               static_cast<long long>(ft_ranks),

@@ -1,0 +1,19 @@
+// LINT-EXPECT: naked-new
+// LINT-AS: src/kronlab/obs/fixture.cpp
+//
+// The escape hatch suppresses exactly the named rule on the next line —
+// the second, unannotated `new` must still be flagged.
+
+struct Registry {
+  int n = 0;
+};
+
+Registry& leaked_singleton() {
+  // Deliberately leaked: outlives detached threads.  kronlab-lint: allow(naked-new)
+  static Registry* r = new Registry; // suppressed by the marker above
+  return *r;
+}
+
+Registry* unmarked() {
+  return new Registry; // rule fires: no allow marker
+}

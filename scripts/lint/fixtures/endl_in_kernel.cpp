@@ -1,0 +1,11 @@
+// LINT-EXPECT: no-endl
+// LINT-AS: bench/fixture.cpp
+//
+// std::endl flushes on every line; in kernels and benches that turns
+// buffered output into one syscall per line.
+
+#include <iostream>
+
+void report(long long count) {
+  std::cout << "butterflies = " << count << std::endl; // rule fires
+}

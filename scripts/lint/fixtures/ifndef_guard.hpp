@@ -1,0 +1,14 @@
+// LINT-EXPECT: header-guard
+// LINT-AS: src/kronlab/graph/fixture.hpp
+//
+// kronlab headers use `#pragma once`; classic #ifndef guards are flagged
+// for consistency (and because stale guard names silently shadow).
+
+#ifndef KRONLAB_FIXTURE_HPP_
+#define KRONLAB_FIXTURE_HPP_
+
+#pragma once
+
+inline int fixture_value() { return 42; }
+
+#endif // KRONLAB_FIXTURE_HPP_

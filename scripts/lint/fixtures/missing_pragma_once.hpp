@@ -1,0 +1,6 @@
+// LINT-EXPECT: header-guard
+// LINT-AS: src/kronlab/graph/fixture2.hpp
+//
+// No include guard at all: double inclusion is an ODR time bomb.
+
+inline int fixture2_value() { return 7; }

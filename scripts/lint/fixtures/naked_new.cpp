@@ -1,0 +1,17 @@
+// LINT-EXPECT: naked-new
+// LINT-AS: src/kronlab/graph/fixture.cpp
+//
+// Raw owning allocation: must be flagged.  (The string "new lines" in this
+// comment must NOT be — comments are stripped before matching.)
+
+struct Node {
+  int value = 0;
+};
+
+Node* make_node() {
+  return new Node(); // naked new — the rule fires here
+}
+
+void drop_node(Node* n) {
+  delete n; // and here
+}

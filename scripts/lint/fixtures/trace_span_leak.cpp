@@ -1,0 +1,18 @@
+// LINT-EXPECT: trace-span-scope
+// LINT-AS: src/kronlab/graph/fixture.cpp
+//
+// A KRONLAB_TRACE_SPAN as the sole unbraced body of a control statement is
+// destroyed at the semicolon — it times nothing.
+
+#define KRONLAB_TRACE_SPAN(cat, name) int kronlab_trace_span_dummy = 0
+
+void count_things(bool traced) {
+  if (traced) KRONLAB_TRACE_SPAN("kernel", "count"); // rule fires: dies here
+
+  for (int i = 0; i < 3; ++i)
+    KRONLAB_TRACE_SPAN("kernel", "iter"); // rule fires: unbraced loop body
+
+  {
+    KRONLAB_TRACE_SPAN("kernel", "block"); // fine: braced scope
+  }
+}

@@ -1,0 +1,94 @@
+// kronlab/common/thread_annotations.hpp
+//
+// Clang thread-safety-analysis attribute macros.
+//
+// These expand to Clang's `__attribute__((...))` capability annotations when
+// compiling with a Clang that implements the analysis, and to nothing on
+// every other compiler (GCC builds see plain, unannotated declarations).
+// The macro names follow the upstream Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the annotated
+// sources read like the reference material.
+//
+// The analysis itself is enabled by `-Wthread-safety -Wthread-safety-beta`,
+// which the top-level CMakeLists turns on (as errors under KRONLAB_WERROR)
+// whenever the compiler is Clang.  See common/sync.hpp for the annotated
+// Mutex / MutexLock / CondVar wrappers that make the analysis work with
+// libstdc++, whose std::mutex carries no capability attributes.
+//
+// Escape-hatch policy (see DESIGN.md §10): NO_THREAD_SAFETY_ANALYSIS is
+// reserved for functions whose safety comes from an invariant the analysis
+// cannot express (e.g. "runs strictly after the fork/join barrier"); every
+// use must carry a why-comment naming that invariant.
+
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define KRONLAB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define KRONLAB_THREAD_ANNOTATION_(x) // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (a lock): acquiring it grants access to
+/// the data it guards.  The string names the capability in diagnostics.
+#define CAPABILITY(x) KRONLAB_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (MutexLock-style guards).
+#define SCOPED_CAPABILITY KRONLAB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that the data member it annotates is protected by the given
+/// capability: reads require the capability held shared or exclusive,
+/// writes require it exclusive.
+#define GUARDED_BY(x) KRONLAB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Like GUARDED_BY, for the data *pointed to* by a pointer member.
+#define PT_GUARDED_BY(x) KRONLAB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The annotated function must be called with the listed capabilities held
+/// (and they are still held on return).
+#define REQUIRES(...) \
+  KRONLAB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  KRONLAB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the listed capabilities and does not
+/// release them before returning.
+#define ACQUIRE(...) \
+  KRONLAB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of ACQUIRE.
+#define ACQUIRE_SHARED(...) \
+  KRONLAB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the listed capabilities, which must be
+/// held on entry.
+#define RELEASE(...) \
+  KRONLAB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of RELEASE.
+#define RELEASE_SHARED(...) \
+  KRONLAB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability iff it returns the given
+/// value (try_lock-style interfaces).
+#define TRY_ACQUIRE(...) \
+  KRONLAB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The annotated function must NOT be called with the listed capabilities
+/// held (deadlock prevention for self-locking functions).
+#define EXCLUDES(...) KRONLAB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability; tells
+/// the analysis to assume it from here on.
+#define ASSERT_CAPABILITY(x) \
+  KRONLAB_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The annotated function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) KRONLAB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Turns the analysis off for one function.  Last resort — see the
+/// escape-hatch policy in the file comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  KRONLAB_THREAD_ANNOTATION_(no_thread_safety_analysis)

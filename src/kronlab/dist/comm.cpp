@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/common/sync.hpp"
 #include "kronlab/obs/trace.hpp"
 
 namespace kronlab::dist {
@@ -33,10 +34,11 @@ struct killed {};
 } // namespace
 
 struct Mailbox {
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   // (from, tag) → FIFO of messages.
-  std::map<std::pair<index_t, int>, std::deque<Message>> queues;
+  std::map<std::pair<index_t, int>, std::deque<Message>> queues
+      GUARDED_BY(mutex);
 
   // Fault-delayed messages parked here until `release_at` deliveries have
   // happened (or a deadline receive expires and flushes them).
@@ -46,8 +48,8 @@ struct Mailbox {
     Message msg;
     std::uint64_t release_at;
   };
-  std::vector<Delayed> delayed;
-  std::uint64_t delivery_count = 0;
+  std::vector<Delayed> delayed GUARDED_BY(mutex);
+  std::uint64_t delivery_count GUARDED_BY(mutex) = 0;
 };
 
 struct Runtime {
@@ -74,11 +76,11 @@ struct Runtime {
   std::atomic<std::int64_t> stat_delayed{0};
 
   // Sense-reversing barrier over *live* ranks.
-  std::mutex barrier_mutex;
-  std::condition_variable barrier_cv;
-  index_t barrier_waiting = 0;
-  index_t live_count;
-  std::uint64_t barrier_epoch = 0;
+  Mutex barrier_mutex;
+  CondVar barrier_cv;
+  index_t barrier_waiting GUARDED_BY(barrier_mutex) = 0;
+  index_t live_count GUARDED_BY(barrier_mutex);
+  std::uint64_t barrier_epoch GUARDED_BY(barrier_mutex) = 0;
 
   enum class Action { deliver, drop, duplicate, delay };
 
@@ -111,8 +113,7 @@ struct Runtime {
     trace::instant("dist", what, trace::intern(buf));
   }
 
-  // Caller holds box.mutex.
-  static void release_due(Mailbox& box) {
+  static void release_due(Mailbox& box) REQUIRES(box.mutex) {
     auto it = box.delayed.begin();
     while (it != box.delayed.end()) {
       if (it->release_at <= box.delivery_count) {
@@ -124,8 +125,8 @@ struct Runtime {
     }
   }
 
-  // Caller holds box.mutex.  Deadline expiry: the "late" packets arrive.
-  static bool flush_delayed(Mailbox& box) {
+  // Deadline expiry: the "late" packets arrive.
+  static bool flush_delayed(Mailbox& box) REQUIRES(box.mutex) {
     if (box.delayed.empty()) return false;
     for (auto& d : box.delayed) {
       box.queues[{d.from, d.tag}].push_back(std::move(d.msg));
@@ -147,7 +148,7 @@ struct Runtime {
     }
     auto& box = mailboxes[static_cast<std::size_t>(to)];
     {
-      std::lock_guard lock(box.mutex);
+      MutexLock lock(box.mutex);
       ++box.delivery_count;
       release_due(box);
       switch (action) {
@@ -174,17 +175,31 @@ struct Runtime {
     box.cv.notify_all();
   }
 
+  [[nodiscard]] bool rank_dead(index_t r) const {
+    return dead[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+  }
+
+  /// First non-empty queue on `tag` (any sender), or nullptr.  On a hit,
+  /// `*from` names the sender.
+  static std::deque<Message>* find_on_tag(Mailbox& box, int tag,
+                                          index_t* from)
+      REQUIRES(box.mutex) {
+    for (auto& [key, q] : box.queues) {
+      if (key.second == tag && !q.empty()) {
+        *from = key.first;
+        return &q;
+      }
+    }
+    return nullptr;
+  }
+
   Message take(index_t me, index_t from, int tag) {
     auto& box = mailboxes[static_cast<std::size_t>(me)];
-    std::unique_lock lock(box.mutex);
+    MutexLock lock(box.mutex);
     auto& q = box.queues[{from, tag}];
     // A blocking receive from a dead rank would hang forever — surface it
     // as the typed failure instead (mark_dead wakes all mailbox waiters).
-    const auto sender_dead = [&] {
-      return dead[static_cast<std::size_t>(from)].load(
-          std::memory_order_acquire);
-    };
-    box.cv.wait(lock, [&] { return !q.empty() || sender_dead(); });
+    while (q.empty() && !rank_dead(from)) box.cv.wait(box.mutex);
     if (q.empty()) {
       throw rank_failed("rank " + std::to_string(from) +
                         " died while rank " + std::to_string(me) +
@@ -199,9 +214,17 @@ struct Runtime {
                                        std::chrono::milliseconds timeout) {
     auto& box = mailboxes[static_cast<std::size_t>(me)];
     const auto deadline = std::chrono::steady_clock::now() + timeout;
-    std::unique_lock lock(box.mutex);
+    MutexLock lock(box.mutex);
     auto& q = box.queues[{from, tag}];
-    if (!box.cv.wait_until(lock, deadline, [&] { return !q.empty(); })) {
+    // Give up early when the sender is dead: nothing new can arrive, so
+    // waiting out the rest of the deadline only stalls the caller's retry
+    // loop (mark_dead wakes this cv precisely so we notice promptly).
+    bool timed_out = false;
+    while (q.empty() && !timed_out && !rank_dead(from)) {
+      timed_out = box.cv.wait_until(box.mutex, deadline);
+    }
+    if (q.empty()) {
+      // Deadline expiry or sender death: the "late" packets arrive now.
       flush_delayed(box);
       if (q.empty()) return std::nullopt;
     }
@@ -214,43 +237,33 @@ struct Runtime {
       index_t me, int tag, std::chrono::milliseconds timeout) {
     auto& box = mailboxes[static_cast<std::size_t>(me)];
     const auto deadline = std::chrono::steady_clock::now() + timeout;
-    std::unique_lock lock(box.mutex);
-    const auto find_nonempty =
-        [&]() -> std::deque<Message>* {
-      for (auto& [key, q] : box.queues) {
-        if (key.second == tag && !q.empty()) return &q;
-      }
-      return nullptr;
-    };
+    MutexLock lock(box.mutex);
     index_t from = -1;
-    const auto pred = [&] {
-      for (auto& [key, q] : box.queues) {
-        if (key.second == tag && !q.empty()) {
-          from = key.first;
-          return true;
-        }
-      }
-      return false;
-    };
-    if (!box.cv.wait_until(lock, deadline, pred)) {
-      flush_delayed(box);
-      if (!pred()) return std::nullopt;
+    std::deque<Message>* q = find_on_tag(box, tag, &from);
+    bool timed_out = false;
+    while (q == nullptr && !timed_out) {
+      timed_out = box.cv.wait_until(box.mutex, deadline);
+      q = find_on_tag(box, tag, &from);
     }
-    auto* q = find_nonempty();
+    if (q == nullptr) {
+      flush_delayed(box);
+      q = find_on_tag(box, tag, &from);
+      if (q == nullptr) return std::nullopt;
+    }
     Message msg = std::move(q->front());
     q->pop_front();
     return std::make_pair(from, std::move(msg));
   }
 
   void barrier() {
-    std::unique_lock lock(barrier_mutex);
+    MutexLock lock(barrier_mutex);
     const std::uint64_t my_epoch = barrier_epoch;
     if (++barrier_waiting >= live_count) {
       barrier_waiting = 0;
       ++barrier_epoch;
       barrier_cv.notify_all();
     } else {
-      barrier_cv.wait(lock, [&] { return barrier_epoch != my_epoch; });
+      while (barrier_epoch == my_epoch) barrier_cv.wait(barrier_mutex);
     }
   }
 
@@ -259,7 +272,7 @@ struct Runtime {
   void mark_dead(index_t r) {
     dead[static_cast<std::size_t>(r)].store(true, std::memory_order_release);
     {
-      std::lock_guard lock(barrier_mutex);
+      MutexLock lock(barrier_mutex);
       --live_count;
       // If everyone still alive is already parked at the barrier, release
       // them — the dead rank will never arrive.

@@ -32,11 +32,9 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -111,7 +109,10 @@ public:
   /// Deadline receive: like recv, but returns nullopt once `timeout`
   /// elapses with no matching message.  Expiry releases any fault-delayed
   /// messages parked at this rank's mailbox (they are then visible to the
-  /// retry that follows).
+  /// retry that follows).  Returns nullopt *early* — without waiting out
+  /// the deadline — once the sender is dead and no message is pending:
+  /// nothing new can ever arrive, so retry loops fail over promptly
+  /// instead of burning their full timeout budget per attempt.
   std::optional<Message> recv_deadline(index_t from, int tag,
                                        std::chrono::milliseconds timeout);
 

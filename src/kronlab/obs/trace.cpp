@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/common/sync.hpp"
 #include "kronlab/common/timer.hpp"
 
 namespace kronlab::trace {
@@ -56,13 +57,15 @@ struct ThreadBuffer {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
-  std::unordered_set<std::string> arena;
+  Mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers GUARDED_BY(mu);
+  std::unordered_set<std::string> arena GUARDED_BY(mu);
 };
 
 Registry& registry() {
-  static Registry* r = new Registry; // leaked: buffers outlive any thread
+  // Deliberately leaked: exiting rank/worker threads may still push into
+  // their buffers during static destruction.  kronlab-lint: allow(naked-new)
+  static Registry* r = new Registry;
   return *r;
 }
 
@@ -75,7 +78,7 @@ ThreadBuffer& buffer(bool want_ring) {
   ThreadBuffer* b = tl_buf;
   if (b == nullptr) {
     auto& reg = registry();
-    std::lock_guard lock(reg.mu);
+    MutexLock lock(reg.mu);
     auto owned = std::make_unique<ThreadBuffer>();
     owned->tid = static_cast<std::uint32_t>(reg.buffers.size());
     b = owned.get();
@@ -84,7 +87,7 @@ ThreadBuffer& buffer(bool want_ring) {
   }
   if (want_ring && b->capacity == 0) {
     auto& reg = registry();
-    std::lock_guard lock(reg.mu);
+    MutexLock lock(reg.mu);
     b->capacity = std::max<std::size_t>(
         std::size_t{16}, g_capacity.load(std::memory_order_relaxed));
     b->ring = std::make_unique<RawEvent[]>(b->capacity);
@@ -143,13 +146,13 @@ void set_buffer_capacity(std::size_t events) {
 void set_thread_name(std::string name) {
   ThreadBuffer& b = buffer(/*want_ring=*/false);
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   b.name = std::move(name);
 }
 
 const char* intern(std::string_view s) {
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   return reg.arena.emplace(s).first->c_str();
 }
 
@@ -188,7 +191,7 @@ void counter(const char* cat, const char* name, double value) {
 std::vector<TraceEvent> snapshot() {
   std::vector<TraceEvent> out;
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& b : reg.buffers) {
     const std::uint64_t h = b->head.load(std::memory_order_acquire);
     if (h == 0) continue;
@@ -220,7 +223,7 @@ std::vector<TraceEvent> snapshot() {
 
 void reset() {
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& b : reg.buffers) {
     b->head.store(0, std::memory_order_release);
   }
@@ -229,7 +232,7 @@ void reset() {
 std::uint64_t dropped_events() {
   std::uint64_t dropped = 0;
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& b : reg.buffers) {
     const std::uint64_t h = b->head.load(std::memory_order_acquire);
     const auto cap = static_cast<std::uint64_t>(b->capacity);

@@ -152,9 +152,9 @@ void write_binary_file(const std::string& path,
 #define KRONLAB_TRACE_CAT(a, b) KRONLAB_TRACE_CAT2(a, b)
 #define KRONLAB_TRACE_SPAN(cat, name)                                       \
   ::kronlab::trace::Span KRONLAB_TRACE_CAT(kronlab_trace_span_, __LINE__) { \
-    cat, name                                                               \
+    (cat), (name)                                                           \
   }
 #define KRONLAB_TRACE_SPAN_D(cat, name, detail)                             \
   ::kronlab::trace::Span KRONLAB_TRACE_CAT(kronlab_trace_span_, __LINE__) { \
-    cat, name, detail                                                       \
+    (cat), (name), (detail)                                                 \
   }

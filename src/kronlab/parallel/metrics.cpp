@@ -19,8 +19,8 @@ std::atomic<bool> g_enabled{[] {
 thread_local KernelScope* tl_current = nullptr;
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, KernelStats> kernels;
+  Mutex mu;
+  std::map<std::string, KernelStats> kernels GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -76,21 +76,32 @@ KernelScope::~KernelScope() {
   tl_current = parent_;
   const double wall =
       static_cast<double>(timer::now_ns() - start_ns_) * 1e-9;
+  // The fork/join barrier guarantees no note_worker() is still running,
+  // but the measurements are guarded state: snapshot them under mu_
+  // rather than relying on that external invariant.
   double busy = 0.0, max_busy = 0.0;
-  for (const double b : worker_busy_) {
-    busy += b;
-    max_busy = std::max(max_busy, b);
+  std::uint64_t chunks = 0, items = 0;
+  std::size_t workers = 0;
+  {
+    MutexLock lock(mu_);
+    for (const double b : worker_busy_) {
+      busy += b;
+      max_busy = std::max(max_busy, b);
+    }
+    chunks = chunks_;
+    items = items_;
+    workers = worker_busy_.size();
   }
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   auto& st = reg.kernels[name_];
   ++st.calls;
   st.wall_seconds += wall;
   st.busy_seconds += busy;
   st.max_worker_seconds += max_busy;
-  st.chunks += chunks_;
-  st.items += items_;
-  st.max_workers = std::max(st.max_workers, worker_busy_.size());
+  st.chunks += chunks;
+  st.items += items;
+  st.max_workers = std::max(st.max_workers, workers);
 }
 
 KernelScope* KernelScope::current() { return tl_current; }
@@ -98,7 +109,7 @@ KernelScope* KernelScope::current() { return tl_current; }
 void KernelScope::note_worker(std::size_t worker, double busy_seconds,
                               std::uint64_t chunks, std::uint64_t items) {
   if (!active_) return;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (worker_busy_.size() <= worker) worker_busy_.resize(worker + 1, 0.0);
   worker_busy_[worker] += busy_seconds;
   chunks_ += chunks;
@@ -114,13 +125,13 @@ ScopedRecording::~ScopedRecording() { set_enabled(prev_); }
 
 std::map<std::string, KernelStats> snapshot() {
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   return reg.kernels;
 }
 
 void reset() {
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   reg.kernels.clear();
 }
 

@@ -18,10 +18,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "kronlab/common/sync.hpp"
 #include "kronlab/common/timer.hpp"
 
 namespace kronlab::metrics {
@@ -79,10 +79,10 @@ private:
   const char* trace_name_ = nullptr;
   KernelScope* parent_ = nullptr;
   bool active_ = false;
-  std::mutex mu_;
-  std::vector<double> worker_busy_; ///< indexed by worker id
-  std::uint64_t chunks_ = 0;
-  std::uint64_t items_ = 0;
+  Mutex mu_; ///< guards the per-region worker measurements below
+  std::vector<double> worker_busy_ GUARDED_BY(mu_); ///< indexed by worker id
+  std::uint64_t chunks_ GUARDED_BY(mu_) = 0;
+  std::uint64_t items_ GUARDED_BY(mu_) = 0;
 };
 
 /// RAII recording window: enables recording and clears the registry on

@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_start_.notify_all();
@@ -40,8 +40,8 @@ void ThreadPool::worker_loop(std::size_t id) {
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
     {
-      std::unique_lock lock(mutex_);
-      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      MutexLock lock(mutex_);
+      while (!stop_ && epoch_ == seen_epoch) cv_start_.wait(mutex_);
       if (stop_) return;
       seen_epoch = epoch_;
       job = job_;
@@ -52,11 +52,11 @@ void ThreadPool::worker_loop(std::size_t id) {
       tl_in_parallel = false;
     } catch (...) {
       tl_in_parallel = false;
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (--remaining_ == 0) cv_done_.notify_one();
     }
   }
@@ -73,9 +73,9 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   }
   // One fork/join at a time: a second external caller (another simulated
   // rank thread) waits here rather than clobbering job_/remaining_.
-  std::lock_guard run_lock(run_mutex_);
+  MutexLock run_lock(run_mutex_);
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     remaining_ = workers_.size();
     first_error_ = nullptr;
@@ -92,11 +92,15 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
     tl_in_parallel = false;
     local_error = std::current_exception();
   }
-  std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [&] { return remaining_ == 0; });
-  job_ = nullptr;
+  std::exception_ptr pool_error;
+  {
+    MutexLock lock(mutex_);
+    while (remaining_ != 0) cv_done_.wait(mutex_);
+    job_ = nullptr;
+    pool_error = first_error_;
+  }
   if (local_error) std::rethrow_exception(local_error);
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (pool_error) std::rethrow_exception(pool_error);
 }
 
 ScopedPoolOverride::ScopedPoolOverride(ThreadPool& pool)

@@ -13,13 +13,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "kronlab/common/sync.hpp"
 
 namespace kronlab {
 
@@ -61,15 +61,15 @@ private:
   void worker_loop(std::size_t id);
 
   std::vector<std::thread> workers_;
-  std::mutex run_mutex_; ///< serializes external run() callers
-  std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t epoch_ = 0;
-  std::size_t remaining_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  Mutex run_mutex_; ///< serializes external run() callers
+  Mutex mutex_;     ///< guards the fork/join protocol state below
+  CondVar cv_start_;
+  CondVar cv_done_;
+  const std::function<void(std::size_t)>* job_ GUARDED_BY(mutex_) = nullptr;
+  std::size_t epoch_ GUARDED_BY(mutex_) = 0;
+  std::size_t remaining_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ GUARDED_BY(mutex_);
 };
 
 /// Process-wide pool, sized from the environment variable KRONLAB_THREADS if

@@ -1,0 +1,34 @@
+// Positive control for the negative-compile check: the same shape as
+// guarded_by_violation.cpp but with the lock held.  This file MUST compile
+// cleanly under `-Werror -Wthread-safety -Wthread-safety-beta`; if it ever
+// fails, the violation fixture's failure is environmental (wrong flags,
+// broken include path), not proof the analysis caught the bug.
+
+#include "kronlab/common/sync.hpp"
+
+namespace {
+
+class Account {
+public:
+  void deposit(int amount) {
+    kronlab::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() {
+    kronlab::MutexLock lock(mu_);
+    return balance_;
+  }
+
+private:
+  kronlab::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  return a.balance() == 1 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Negative-compile fixture: accessing a GUARDED_BY field without holding
+// its mutex MUST fail a Clang `-Werror -Wthread-safety` build.  The ctest
+// wrapper (tests/CMakeLists.txt, clang only) compiles this file with
+// -fsyntax-only and asserts a non-zero exit — proving the analysis is
+// actually armed, not silently compiled away.
+//
+// Keep this file out of every real target: it is intentionally wrong.
+
+#include "kronlab/common/sync.hpp"
+
+namespace {
+
+class Account {
+public:
+  void deposit(int amount) {
+    balance_ += amount; // BAD: writes balance_ without holding mu_
+  }
+
+  int balance() const { return 0; }
+
+private:
+  kronlab::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  return a.balance();
+}

@@ -10,10 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <thread>
 
 #include "kronlab/dist/comm.hpp"
 #include "kronlab/dist/sharded.hpp"
@@ -186,6 +189,62 @@ TEST(Comm, DelayedMessagesReorderBehindLaterTraffic) {
       EXPECT_EQ(received, 2); // reordered, never lost
       EXPECT_GE(comm.fault_stats().delayed, 1);
     }
+  });
+}
+
+// Regression (found by the Clang thread-safety annotation pass over
+// comm.cpp): mark_dead wakes every mailbox cv "so deadline receives
+// re-check liveness promptly" — but take_deadline's wait never checked
+// liveness, so a receive from a dead sender slept out its entire timeout
+// on every retry.  It must now return nullopt as soon as the sender is
+// dead and nothing is pending.
+TEST(Comm, RecvDeadlineReturnsEarlyWhenSenderIsDead) {
+  FaultPlan plan;
+  plan.kill_rank = 1;
+  plan.kill_point = "before-sending";
+  std::atomic<long long> waited_ms{-1};
+  run(2, plan, [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      comm.fault_point("before-sending"); // dies here, never sends
+      return;
+    }
+    while (comm.rank_alive(1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto got = comm.recv_deadline(1, 3, std::chrono::seconds(30));
+    EXPECT_FALSE(got.has_value());
+    waited_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  });
+  ASSERT_GE(waited_ms.load(), 0) << "receiver never ran";
+  // Seconds of slack for loaded CI machines — the point is that it did
+  // not sleep anywhere near the 30 s deadline.
+  EXPECT_LT(waited_ms.load(), 5000);
+}
+
+// Messages that arrived (or were fault-parked) before the sender died are
+// still deliverable: early-return must not eat pending data.
+TEST(Comm, RecvDeadlineDeliversPendingMessageFromDeadSender) {
+  FaultPlan plan;
+  plan.kill_rank = 1;
+  plan.kill_point = "after-sending";
+  run(2, plan, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      comm.send(0, 3, {99});
+      comm.fault_point("after-sending");
+      return;
+    }
+    while (comm.rank_alive(1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto got = comm.recv_deadline(1, 3, std::chrono::seconds(30));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, (Message{99}));
+    // A second receive finds the mailbox empty and the sender dead.
+    EXPECT_FALSE(
+        comm.recv_deadline(1, 3, std::chrono::seconds(30)).has_value());
   });
 }
 
