@@ -53,12 +53,17 @@ count_t GroundTruthOracle::edge_squares_at(index_t i, index_t j, index_t k,
          stats_m_.d[j] * stats_b_.d[l] + 1;
 }
 
-EdgeRecord GroundTruthOracle::edge(index_t p, index_t q) const {
+std::optional<EdgeRecord> GroundTruthOracle::try_edge(index_t p,
+                                                      index_t q) const {
   const auto sh = kp_->shape();
+  if (p < 0 || p >= sh.rows() || q < 0 || q >= sh.cols()) {
+    return std::nullopt;
+  }
   const auto [i, k] = sh.split_row(p);
   const auto [j, l] = sh.split_col(q);
-  KRONLAB_REQUIRE(kp_->left().has(i, j) && kp_->right().has(k, l),
-                  "(p,q) is not an edge of the product");
+  if (!kp_->left().has(i, j) || !kp_->right().has(k, l)) {
+    return std::nullopt;
+  }
   EdgeRecord r;
   r.p = p;
   r.q = q;
@@ -70,6 +75,12 @@ EdgeRecord GroundTruthOracle::edge(index_t p, index_t q) const {
                             static_cast<double>(denom)
                       : 0.0;
   return r;
+}
+
+EdgeRecord GroundTruthOracle::edge(index_t p, index_t q) const {
+  const auto r = try_edge(p, q);
+  KRONLAB_REQUIRE(r.has_value(), "(p,q) is not an edge of the product");
+  return *r;
 }
 
 VertexRecord GroundTruthOracle::sample_vertex(Rng& rng) const {

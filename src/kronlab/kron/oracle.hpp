@@ -48,6 +48,12 @@ public:
   /// O(#terms) exact vertex record.
   [[nodiscard]] VertexRecord vertex(index_t p) const;
 
+  /// Exact edge record, or nullopt when (p, q) is not an edge of the
+  /// product (including out-of-range indices).  This is the probe form a
+  /// query server uses: a bad probe is an answer, not an exception.
+  [[nodiscard]] std::optional<EdgeRecord> try_edge(index_t p,
+                                                   index_t q) const;
+
   /// Exact edge record; throws invalid_argument if (p,q) is not an edge.
   [[nodiscard]] EdgeRecord edge(index_t p, index_t q) const;
 

@@ -11,6 +11,8 @@
 //              KONECT loader, unicode-like stand-in)
 //   kron::     the bipartite Kronecker generator with ground truth
 //              (products, streaming, factored statistics, Thm 1–7 / Cor 1–2)
+//   serve::    the ground-truth oracle as a service (wire protocol,
+//              transports, query server, client — kronlab_served)
 
 #pragma once
 
@@ -61,3 +63,8 @@
 #include "kronlab/kron/product.hpp"
 #include "kronlab/kron/stream.hpp"
 #include "kronlab/kron/triangles.hpp"
+#include "kronlab/serve/client.hpp"
+#include "kronlab/serve/lru.hpp"
+#include "kronlab/serve/protocol.hpp"
+#include "kronlab/serve/server.hpp"
+#include "kronlab/serve/transport.hpp"

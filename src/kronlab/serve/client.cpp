@@ -1,0 +1,96 @@
+#include "kronlab/serve/client.hpp"
+
+#include <string>
+
+namespace kronlab::serve {
+
+Client::Client(std::unique_ptr<Transport> transport, RetryPolicy retry)
+    : transport_(std::move(transport)), retry_(retry) {
+  KRONLAB_REQUIRE(transport_ != nullptr, "client needs a transport");
+  KRONLAB_REQUIRE(retry_.attempts > 0, "retry policy needs >= 1 attempt");
+}
+
+Response Client::call(std::vector<Probe> probes) {
+  Request req;
+  req.id = next_id_++;
+  req.probes = std::move(probes);
+  const auto payload = encode_request(req);
+  for (int attempt = 0; attempt < retry_.attempts; ++attempt) {
+    if (attempt > 0) ++retries_;
+    write_frame(*transport_, payload);
+    // Drain frames until the one answering *this* request: a response
+    // with an older id is a late answer to an attempt we timed out on.
+    while (true) {
+      std::optional<std::vector<word_t>> frame;
+      try {
+        frame = read_frame(*transport_, retry_.timeout);
+      } catch (const timeout_error&) {
+        break; // next attempt resends
+      }
+      if (!frame) {
+        throw io_error("kronlab serve: server closed the connection");
+      }
+      const Response resp = decode_response(*frame);
+      if (resp.id == req.id) return resp;
+      if (resp.id > req.id) {
+        throw protocol_error("kronlab serve: response id " +
+                             std::to_string(resp.id) +
+                             " from the future (sent " +
+                             std::to_string(req.id) + ")");
+      }
+      // resp.id < req.id: stale — discard and keep waiting.
+    }
+  }
+  throw timeout_error("kronlab serve: no response to frame " +
+                      std::to_string(req.id) + " after " +
+                      std::to_string(retry_.attempts) + " attempts of " +
+                      std::to_string(retry_.timeout.count()) + " ms");
+}
+
+ProbeResult Client::call_one(Probe probe, Status tolerated) {
+  Response resp = call({std::move(probe)});
+  if (resp.status != Status::ok) {
+    throw invalid_argument(std::string("kronlab serve: request failed: ") +
+                           status_name(resp.status));
+  }
+  if (resp.results.size() != 1) {
+    throw protocol_error("kronlab serve: expected 1 result, got " +
+                         std::to_string(resp.results.size()));
+  }
+  ProbeResult r = std::move(resp.results[0]);
+  if (r.status != Status::ok && r.status != tolerated) {
+    throw invalid_argument(std::string("kronlab serve: probe failed: ") +
+                           status_name(r.status));
+  }
+  return r;
+}
+
+kron::VertexRecord Client::vertex(index_t p) {
+  return decode_vertex_record(call_one(Probe::vertex(p)).words);
+}
+
+std::optional<kron::EdgeRecord> Client::try_edge(index_t p, index_t q) {
+  const ProbeResult r =
+      call_one(Probe::edge(p, q), Status::not_an_edge);
+  if (r.status == Status::not_an_edge) return std::nullopt;
+  return decode_edge_record(r.words);
+}
+
+std::vector<std::pair<count_t, index_t>> Client::degree_histogram(
+    count_t lo, count_t hi) {
+  return decode_hist(call_one(Probe::degree_hist(lo, hi)).words);
+}
+
+kron::VertexRecord Client::sample_vertex(std::uint64_t seed) {
+  return decode_vertex_record(call_one(Probe::sample_vertex(seed)).words);
+}
+
+kron::EdgeRecord Client::sample_edge(std::uint64_t seed) {
+  return decode_edge_record(call_one(Probe::sample_edge(seed)).words);
+}
+
+StatsRecord Client::stats() {
+  return decode_stats_record(call_one(Probe::stats()).words);
+}
+
+} // namespace kronlab::serve

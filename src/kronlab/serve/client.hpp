@@ -1,0 +1,69 @@
+// kronlab/serve/client.hpp
+//
+// Client side of the query protocol: batches probes into request frames,
+// awaits the matching response with a deadline, and retries idempotently
+// on timeout.
+//
+// Retry is safe because every probe is a pure read (samples are seeded by
+// the client, so a re-executed sample returns the same record) and frame
+// ids are monotonic per connection: a response whose id predates the
+// in-flight request — a delayed answer to an attempt the client already
+// gave up on — is discarded, not misdelivered.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "kronlab/serve/protocol.hpp"
+#include "kronlab/serve/transport.hpp"
+
+namespace kronlab::serve {
+
+struct RetryPolicy {
+  int attempts = 3; ///< total tries (first send included)
+  std::chrono::milliseconds timeout{1000}; ///< per-attempt response wait
+};
+
+class Client {
+public:
+  explicit Client(std::unique_ptr<Transport> transport,
+                  RetryPolicy retry = {});
+
+  /// Issue one request frame and return its response.  Retries on
+  /// timeout per the policy; throws timeout_error when every attempt
+  /// times out, io_error / protocol_error when the connection breaks.
+  /// The request's id is assigned here (monotonic per client).
+  Response call(std::vector<Probe> probes);
+
+  // Typed conveniences over call().  Each throws invalid_argument when
+  // the server answers a non-ok status other than the one the signature
+  // models (try_edge's not_an_edge → nullopt).
+  [[nodiscard]] kron::VertexRecord vertex(index_t p);
+  [[nodiscard]] std::optional<kron::EdgeRecord> try_edge(index_t p,
+                                                         index_t q);
+  [[nodiscard]] std::vector<std::pair<count_t, index_t>> degree_histogram(
+      count_t lo, count_t hi);
+  [[nodiscard]] kron::VertexRecord sample_vertex(std::uint64_t seed);
+  [[nodiscard]] kron::EdgeRecord sample_edge(std::uint64_t seed);
+  [[nodiscard]] StatsRecord stats();
+
+  /// Timeouts the retry loop absorbed (for fault-injection assertions).
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
+private:
+  /// The single result of a one-probe call, with frame/result status
+  /// folded into one check.
+  ProbeResult call_one(Probe probe, Status tolerated = Status::ok);
+
+  std::unique_ptr<Transport> transport_;
+  RetryPolicy retry_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t retries_ = 0;
+};
+
+} // namespace kronlab::serve

@@ -1,0 +1,65 @@
+// kronlab/serve/lru.hpp
+//
+// A small intrusive-list LRU cache, used by the query server to keep hot
+// per-vertex oracle records.  An oracle probe is already O(#factor terms),
+// but a serving workload is heavily skewed (hub vertices are probed far
+// more often than tail vertices — the same power law the generator
+// produces), so a few thousand cached records absorb most of the work.
+//
+// Not thread-safe by itself: the server guards its instance with a Mutex
+// (one cache, short critical sections — lookup and insert only; misses
+// are computed outside the lock).
+
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace kronlab::serve {
+
+template <typename K, typename V>
+class LruCache {
+public:
+  /// `capacity` == 0 disables the cache (every get misses, puts drop).
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  /// Value for `key`, refreshing its recency; nullopt on miss.
+  std::optional<V> get(const K& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Insert (or refresh) `key`, evicting the least-recently-used entry
+  /// when full.  Racing double-inserts of the same key are benign: the
+  /// second put refreshes the value.
+  void put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(key, order_.begin());
+  }
+
+private:
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_; ///< front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> map_;
+};
+
+} // namespace kronlab::serve

@@ -1,0 +1,343 @@
+#include "kronlab/serve/server.hpp"
+
+#include <algorithm>
+
+#include "kronlab/kron/ground_truth.hpp"
+#include "kronlab/obs/trace.hpp"
+#include "kronlab/parallel/metrics.hpp"
+#include "kronlab/parallel/parallel_for.hpp"
+
+namespace kronlab::serve {
+
+/// Per-connection state.  The Connection outlives its socket activity via
+/// shared_ptr: the reader thread, the conns_ registry, and every queued
+/// WorkItem hold references, so a client disconnecting mid-frame can
+/// never leave an executor writing through freed memory.
+struct Server::Connection {
+  std::unique_ptr<Transport> transport;
+  std::thread reader;
+  Mutex write_mu; ///< serializes response frames onto the stream
+  std::atomic<bool> reader_done{false};
+};
+
+Server::Server(const kron::BipartiteKronecker& kp, ServerOptions opt)
+    : oracle_(kp), opt_(opt), cache_(opt.cache_capacity) {
+  KRONLAB_REQUIRE(opt_.executors > 0, "server needs at least one executor");
+  KRONLAB_REQUIRE(opt_.queue_depth > 0, "queue depth must be positive");
+  KRONLAB_REQUIRE(opt_.max_connections > 0,
+                  "connection limit must be positive");
+  stats_record_ = {kp.num_vertices(), kp.num_edges(),
+                   kron::global_squares(kp)};
+  for (const auto& [degree, vertices] : oracle_.degree_histogram()) {
+    degree_hist_.emplace_back(degree, vertices);
+  }
+  executors_.reserve(opt_.executors);
+  for (std::size_t i = 0; i < opt_.executors; ++i) {
+    executors_.emplace_back([this, i] { executor_loop(i); });
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start(std::unique_ptr<Listener> listener) {
+  KRONLAB_REQUIRE(listener != nullptr, "start() needs a listener");
+  KRONLAB_REQUIRE(!listener_ && !stopped_.load(),
+                  "start() may run once, before stop()");
+  listener_ = std::move(listener);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  trace::set_thread_name("serve accept");
+  while (auto conn = listener_->accept()) {
+    adopt(std::move(conn));
+  }
+}
+
+void Server::adopt(std::unique_ptr<Transport> transport) {
+  auto conn = std::make_shared<Connection>();
+  conn->transport = std::move(transport);
+  if (draining_.load(std::memory_order_acquire)) {
+    connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+    send(*conn, encode_response({0, Status::shutting_down, {}}));
+    return; // transport closes with the Connection
+  }
+  MutexLock lock(conn_mu_);
+  reap_connections();
+  std::size_t active = 0;
+  for (const auto& c : conns_) {
+    if (!c->reader_done.load(std::memory_order_acquire)) ++active;
+  }
+  if (active >= opt_.max_connections) {
+    connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+    send(*conn, encode_response({0, Status::overloaded, {}}));
+    return;
+  }
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  conns_.push_back(std::move(conn));
+}
+
+void Server::reap_connections() {
+  // Joining a finished reader is quick; live readers are left alone, so
+  // the accept path never blocks behind a long-lived connection.
+  std::erase_if(conns_, [](const std::shared_ptr<Connection>& c) {
+    if (!c->reader_done.load(std::memory_order_acquire)) return false;
+    if (c->reader.joinable()) c->reader.join();
+    return true;
+  });
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  trace::set_thread_name("serve reader");
+  Transport& t = *conn->transport;
+  while (true) {
+    std::vector<word_t> payload;
+    try {
+      auto frame = read_frame(t, no_deadline);
+      if (!frame) break; // clean EOF
+      payload = std::move(*frame);
+    } catch (const checksum_error&) {
+      // Framing is intact (the full frame was read): answer and go on.
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      send(*conn, encode_response({0, Status::malformed, {}}));
+      continue;
+    } catch (const protocol_error&) {
+      // Bad magic / implausible length: the byte stream may be out of
+      // sync — answer best-effort and drop the connection.  The close is
+      // immediate (not deferred to reaping) so the peer observes EOF, at
+      // the cost of any still-executing responses on this stream.
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      send(*conn, encode_response({0, Status::malformed, {}}));
+      t.shutdown();
+      break;
+    } catch (const error&) {
+      break; // mid-frame disconnect or shutdown_read()
+    }
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t id = peek_request_id(payload);
+    if (draining_.load(std::memory_order_acquire)) {
+      shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      send(*conn, encode_response({id, Status::shutting_down, {}}));
+      continue;
+    }
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (!queue_push({conn, std::move(payload)})) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      overloaded_.fetch_add(1, std::memory_order_relaxed);
+      send(*conn, encode_response({id, Status::overloaded, {}}));
+    }
+  }
+  conn->reader_done.store(true, std::memory_order_release);
+}
+
+void Server::executor_loop(std::size_t id) {
+  trace::set_thread_name("serve exec " + std::to_string(id));
+  while (auto item = queue_pop()) {
+    process(*item);
+  }
+}
+
+void Server::process(WorkItem& item) {
+  trace::Span span("serve", "request");
+  metrics::KernelScope scope("serve/request");
+  Response resp;
+  try {
+    const Request req = decode_request(item.payload);
+    resp.id = req.id;
+    const auto n = static_cast<index_t>(req.probes.size());
+    resp.results.resize(req.probes.size());
+    probes_.fetch_add(req.probes.size(), std::memory_order_relaxed);
+    if (req.probes.size() >= opt_.parallel_batch_threshold) {
+      // Large batches fan out through the dynamic dispatcher; concurrent
+      // executors serialize on the pool's run mutex, which is the
+      // documented multi-caller discipline of ThreadPool::run.
+      parallel_for_dynamic(
+          0, n,
+          [&](index_t i) {
+            resp.results[static_cast<std::size_t>(i)] =
+                exec_probe(req.probes[static_cast<std::size_t>(i)]);
+          },
+          global_pool(), /*grain=*/32);
+    } else {
+      for (index_t i = 0; i < n; ++i) {
+        resp.results[static_cast<std::size_t>(i)] =
+            exec_probe(req.probes[static_cast<std::size_t>(i)]);
+      }
+    }
+  } catch (const protocol_error&) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    resp = Response{peek_request_id(item.payload), Status::malformed, {}};
+  }
+  send(*item.conn, encode_response(resp));
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+ProbeResult Server::exec_probe(const Probe& probe) {
+  ProbeResult r;
+  r.op = probe.op;
+  const auto opi = static_cast<std::size_t>(probe.op);
+  if (opi < probes_by_op_.size()) {
+    probes_by_op_[opi].fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto bad = [&r] {
+    r.status = Status::bad_probe;
+    r.words.clear();
+    return r;
+  };
+  try {
+    switch (probe.op) {
+      case Op::vertex: {
+        if (probe.args.size() != 1) return bad();
+        const index_t p = probe.args[0];
+        if (p < 0 || p >= oracle_.num_vertices()) return bad();
+        r.words = encode_record(cached_vertex(p));
+        return r;
+      }
+      case Op::edge: {
+        if (probe.args.size() != 2) return bad();
+        const auto rec = oracle_.try_edge(probe.args[0], probe.args[1]);
+        if (!rec) {
+          r.status = Status::not_an_edge;
+          return r;
+        }
+        r.words = encode_record(*rec);
+        return r;
+      }
+      case Op::degree_hist: {
+        if (probe.args.size() != 2) return bad();
+        const count_t lo = probe.args[0];
+        const count_t hi = probe.args[1];
+        if (lo > hi) return bad();
+        const auto key = [](const std::pair<count_t, index_t>& e,
+                            count_t d) { return e.first < d; };
+        const auto begin = std::lower_bound(degree_hist_.begin(),
+                                            degree_hist_.end(), lo, key);
+        const auto end = std::lower_bound(degree_hist_.begin(),
+                                          degree_hist_.end(), hi + 1, key);
+        r.words = encode_hist({begin, end});
+        return r;
+      }
+      case Op::sample_vertex: {
+        if (probe.args.size() != 1) return bad();
+        Rng rng(static_cast<std::uint64_t>(probe.args[0]));
+        r.words = encode_record(oracle_.sample_vertex(rng));
+        return r;
+      }
+      case Op::sample_edge: {
+        if (probe.args.size() != 1) return bad();
+        Rng rng(static_cast<std::uint64_t>(probe.args[0]));
+        r.words = encode_record(oracle_.sample_edge(rng));
+        return r;
+      }
+      case Op::stats: {
+        if (!probe.args.empty()) return bad();
+        r.words = encode_record(stats_record_);
+        return r;
+      }
+    }
+    return bad(); // unknown opcode
+  } catch (const error&) {
+    // A probe must never take the daemon down; the typed error becomes a
+    // typed status (e.g. sample_edge on an edgeless product).
+    return bad();
+  }
+}
+
+kron::VertexRecord Server::cached_vertex(index_t p) {
+  {
+    MutexLock lock(cache_mu_);
+    if (auto hit = cache_.get(p)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *hit;
+    }
+  }
+  // Miss: compute outside the lock so concurrent misses overlap; a racing
+  // double-insert of the same record is benign.
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  const auto rec = oracle_.vertex(p);
+  MutexLock lock(cache_mu_);
+  cache_.put(p, rec);
+  return rec;
+}
+
+void Server::send(Connection& conn, const std::vector<word_t>& payload) {
+  MutexLock lock(conn.write_mu);
+  try {
+    write_frame(*conn.transport, payload);
+  } catch (const error&) {
+    // Peer vanished mid-response; its reader sees the close and the
+    // connection is reaped.  Dropping the write is the only option left.
+  }
+}
+
+bool Server::queue_push(WorkItem item) {
+  MutexLock lock(queue_mu_);
+  if (queue_closed_ || queue_.size() >= opt_.queue_depth) return false;
+  queue_.push_back(std::move(item));
+  queue_cv_.notify_one();
+  return true;
+}
+
+std::optional<Server::WorkItem> Server::queue_pop() {
+  MutexLock lock(queue_mu_);
+  while (queue_.empty() && !queue_closed_) queue_cv_.wait(queue_mu_);
+  if (queue_.empty()) return std::nullopt;
+  WorkItem item = std::move(queue_.front());
+  queue_.pop_front();
+  return item;
+}
+
+void Server::queue_close() {
+  MutexLock lock(queue_mu_);
+  queue_closed_ = true;
+  queue_cv_.notify_all();
+}
+
+void Server::stop() {
+  if (stopped_.exchange(true)) return;
+  draining_.store(true, std::memory_order_release);
+  if (listener_) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Half-close every connection's read side: readers drain out on EOF
+  // while responses to already-admitted frames still flow.
+  {
+    MutexLock lock(conn_mu_);
+    for (const auto& c : conns_) c->transport->shutdown_read();
+    for (const auto& c : conns_) {
+      if (c->reader.joinable()) c->reader.join();
+    }
+  }
+  // No reader can push anymore; let the executors finish the backlog.
+  queue_close();
+  for (auto& e : executors_) e.join();
+  executors_.clear();
+  {
+    MutexLock lock(conn_mu_);
+    for (const auto& c : conns_) c->transport->shutdown();
+    conns_.clear();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.probes = probes_.load(std::memory_order_relaxed);
+  s.overloaded = overloaded_.load(std::memory_order_relaxed);
+  s.malformed = malformed_.load(std::memory_order_relaxed);
+  s.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < s.probes_by_op.size(); ++i) {
+    s.probes_by_op[i] = probes_by_op_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+} // namespace kronlab::serve

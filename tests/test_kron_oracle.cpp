@@ -90,6 +90,48 @@ TEST(Oracle, EdgeQueryRejectsNonEdges) {
   EXPECT_THROW((void)oracle.edge(0, 2), invalid_argument);
 }
 
+TEST_P(OracleTest, TryEdgeAgreesWithEdgeEverywhere) {
+  // try_edge is the probe form: over the full p×q grid it must return a
+  // record exactly where the materialized product has an edge, nullopt
+  // everywhere else, and the record must equal what edge() returns.
+  const auto kp = make();
+  const GroundTruthOracle oracle(kp);
+  const auto c = kp.materialize();
+  for (index_t p = 0; p < c.nrows(); ++p) {
+    for (index_t q = 0; q < c.ncols(); ++q) {
+      const auto r = oracle.try_edge(p, q);
+      ASSERT_EQ(r.has_value(), c.has(p, q)) << p << "," << q;
+      if (r) {
+        const auto direct = oracle.edge(p, q);
+        EXPECT_EQ(r->p, direct.p);
+        EXPECT_EQ(r->q, direct.q);
+        EXPECT_EQ(r->degree_p, direct.degree_p);
+        EXPECT_EQ(r->degree_q, direct.degree_q);
+        EXPECT_EQ(r->squares, direct.squares);
+        EXPECT_DOUBLE_EQ(r->gamma, direct.gamma);
+      }
+    }
+  }
+}
+
+TEST(Oracle, TryEdgeIsNulloptOutOfRangeNotAnError) {
+  const auto kp = BipartiteKronecker::assumption_ii(gen::path_graph(2),
+                                                    gen::path_graph(2));
+  const GroundTruthOracle oracle(kp);
+  const auto n = kp.num_vertices();
+  // A query server forwards raw client input: out-of-range indices are an
+  // answer (nullopt), never an exception or an out-of-bounds read.
+  EXPECT_FALSE(oracle.try_edge(-1, 0).has_value());
+  EXPECT_FALSE(oracle.try_edge(0, -1).has_value());
+  EXPECT_FALSE(oracle.try_edge(n, 0).has_value());
+  EXPECT_FALSE(oracle.try_edge(0, n).has_value());
+  EXPECT_FALSE(oracle.try_edge(n, n).has_value());
+  // The throwing form keeps its contract for in-range non-edges and
+  // out-of-range indices alike.
+  EXPECT_THROW((void)oracle.edge(n, 0), invalid_argument);
+  EXPECT_THROW((void)oracle.edge(-1, -1), invalid_argument);
+}
+
 TEST(Oracle, SampledVerticesAreValidAndCover) {
   const auto kp = BipartiteKronecker::assumption_i(
       gen::triangle_with_tail(0), gen::path_graph(3));

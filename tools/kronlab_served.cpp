@@ -1,0 +1,241 @@
+// kronlab_served — the ground-truth oracle as a long-running daemon.
+//
+// Loads a BipartiteKronecker spec (same factor SPEC grammar as
+// kronlab_gen) and answers serve/ protocol probes over TCP or a
+// Unix-domain socket until SIGTERM/SIGINT, then drains gracefully:
+// every admitted request is answered before the process exits, and the
+// final stats summary goes to stderr.
+//
+// Examples:
+//   kronlab_served --left tritail:1 --right kbip:3,4 --tcp 0
+//   (port 0 binds an ephemeral port; the bound port is printed to stdout
+//   as "port NNNN" so scripts can read it back)
+//   kronlab_served --left nonbip:20,60,7 --right prefbip:100,150,400,9
+//                  --mode raw --unix /tmp/kronlab.sock --executors 4
+//
+// Exit codes match kronlab_gen: 2 = usage / bad spec, 3 = io,
+// 4 = validation failure, 1 = anything else.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "kronlab/kronlab.hpp"
+
+using namespace kronlab;
+
+namespace {
+
+struct Options {
+  std::string left, right;
+  std::string mode = "raw";
+  int tcp_port = -1; ///< >= 0: serve TCP (0 = ephemeral)
+  std::string unix_path;
+  serve::ServerOptions server;
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: %s --left SPEC --right SPEC [--mode i|ii|raw]\n"
+      "          (--tcp PORT | --unix PATH)\n"
+      "          [--executors N] [--queue-depth N] [--cache N]\n\n"
+      "factor SPEC forms:\n%s\n\n"
+      "--tcp PORT     listen on 127.0.0.1:PORT (0 = ephemeral; the bound\n"
+      "               port is printed to stdout as 'port NNNN')\n"
+      "--unix PATH    listen on a Unix-domain socket at PATH\n"
+      "--executors N  request-executor threads (default %d)\n"
+      "--queue-depth N  admitted-frame queue bound (default %d)\n"
+      "--cache N      vertex-record LRU entries, 0 disables (default %d)\n\n"
+      "SIGTERM/SIGINT drain gracefully: admitted requests are answered,\n"
+      "then a stats summary is written to stderr.\n",
+      argv0, gen::graph_spec_help().c_str(),
+      static_cast<int>(serve::ServerOptions{}.executors),
+      static_cast<int>(serve::ServerOptions{}.queue_depth),
+      static_cast<int>(serve::ServerOptions{}.cache_capacity));
+  std::exit(code);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        usage(argv[0], 2);
+      }
+      return argv[++i];
+    };
+    const auto need_size = [&](const char* flag) -> std::size_t {
+      const long long v =
+          std::strtoll(need_value(flag).c_str(), nullptr, 10);
+      if (v < 0) {
+        std::fprintf(stderr, "%s requires a non-negative integer\n", flag);
+        usage(argv[0], 2);
+      }
+      return static_cast<std::size_t>(v);
+    };
+    if (arg == "--left") {
+      opt.left = need_value("--left");
+    } else if (arg == "--right") {
+      opt.right = need_value("--right");
+    } else if (arg == "--mode") {
+      opt.mode = need_value("--mode");
+    } else if (arg == "--tcp") {
+      opt.tcp_port =
+          static_cast<int>(std::strtoll(need_value("--tcp").c_str(),
+                                        nullptr, 10));
+      if (opt.tcp_port < 0 || opt.tcp_port > 65535) {
+        std::fprintf(stderr, "--tcp requires a port in [0, 65535]\n");
+        usage(argv[0], 2);
+      }
+    } else if (arg == "--unix") {
+      opt.unix_path = need_value("--unix");
+    } else if (arg == "--executors") {
+      opt.server.executors = need_size("--executors");
+      if (opt.server.executors == 0) {
+        std::fprintf(stderr, "--executors requires at least 1\n");
+        usage(argv[0], 2);
+      }
+    } else if (arg == "--queue-depth") {
+      opt.server.queue_depth = need_size("--queue-depth");
+      if (opt.server.queue_depth == 0) {
+        std::fprintf(stderr, "--queue-depth requires at least 1\n");
+        usage(argv[0], 2);
+      }
+    } else if (arg == "--cache") {
+      opt.server.cache_capacity = need_size("--cache");
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0], 2);
+    }
+  }
+  if (opt.left.empty() || opt.right.empty()) {
+    std::fprintf(stderr, "--left and --right are required\n");
+    usage(argv[0], 2);
+  }
+  if (opt.mode != "i" && opt.mode != "ii" && opt.mode != "raw") {
+    std::fprintf(stderr, "--mode must be i, ii, or raw\n");
+    usage(argv[0], 2);
+  }
+  if ((opt.tcp_port < 0) == opt.unix_path.empty()) {
+    std::fprintf(stderr, "exactly one of --tcp / --unix is required\n");
+    usage(argv[0], 2);
+  }
+  return opt;
+}
+
+// Self-pipe shutdown plumbing: the handler must be async-signal-safe, so
+// it only write()s one byte; main blocks on the read end.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  // The result is deliberately ignored: a full pipe means a shutdown is
+  // already pending, which is all this byte would say.
+  [[maybe_unused]] const auto rc = write(g_shutdown_pipe[1], &byte, 1);
+}
+
+void print_stats(const serve::ServerStats& s) {
+  std::fprintf(stderr,
+               "kronlab_served: connections %llu accepted, %llu rejected\n",
+               static_cast<unsigned long long>(s.connections_accepted),
+               static_cast<unsigned long long>(s.connections_rejected));
+  std::fprintf(
+      stderr,
+      "kronlab_served: %llu frames, %llu probes, %llu responses\n",
+      static_cast<unsigned long long>(s.frames),
+      static_cast<unsigned long long>(s.probes),
+      static_cast<unsigned long long>(s.responses));
+  std::fprintf(
+      stderr,
+      "kronlab_served: %llu overloaded, %llu malformed, %llu shed at "
+      "shutdown\n",
+      static_cast<unsigned long long>(s.overloaded),
+      static_cast<unsigned long long>(s.malformed),
+      static_cast<unsigned long long>(s.shed_shutdown));
+  std::fprintf(stderr, "kronlab_served: cache %llu hits / %llu misses\n",
+               static_cast<unsigned long long>(s.cache_hits),
+               static_cast<unsigned long long>(s.cache_misses));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  try {
+    const auto a = gen::parse_graph_spec(opt.left);
+    const auto b = gen::parse_graph_spec(opt.right);
+    const auto kp = [&] {
+      if (opt.mode == "i") {
+        return kron::BipartiteKronecker::assumption_i(a, b);
+      }
+      if (opt.mode == "ii") {
+        return kron::BipartiteKronecker::assumption_ii(a, b);
+      }
+      return kron::BipartiteKronecker::raw(a, b);
+    }();
+
+    if (pipe(g_shutdown_pipe) != 0) {
+      throw io_error("cannot create the shutdown pipe");
+    }
+    struct sigaction sa = {};
+    sa.sa_handler = on_signal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    serve::Server server(kp, opt.server);
+    auto listener = opt.unix_path.empty()
+                        ? serve::listen_tcp(opt.tcp_port)
+                        : serve::listen_unix(opt.unix_path);
+    if (opt.unix_path.empty()) {
+      // Scripts read this line back (essential with --tcp 0).
+      std::printf("port %d\n", listener->port());
+    } else {
+      std::printf("unix %s\n", opt.unix_path.c_str());
+    }
+    std::fflush(stdout);
+    std::fprintf(stderr,
+                 "kronlab_served: serving %s (x) %s [mode %s], "
+                 "%lld vertices, %lld edges\n",
+                 opt.left.c_str(), opt.right.c_str(), opt.mode.c_str(),
+                 static_cast<long long>(kp.num_vertices()),
+                 static_cast<long long>(kp.num_edges()));
+    server.start(std::move(listener));
+
+    // Block until a signal's byte arrives (EINTR restarts the read).
+    char byte = 0;
+    while (read(g_shutdown_pipe[0], &byte, 1) < 0) {
+      if (errno != EINTR) break;
+    }
+    std::fprintf(stderr, "kronlab_served: draining...\n");
+    server.stop();
+    print_stats(server.stats());
+    std::fprintf(stderr, "kronlab_served: drained, %llu in flight\n",
+                 static_cast<unsigned long long>(server.in_flight()));
+    return 0;
+  } catch (const io_error& e) {
+    std::fprintf(stderr, "kronlab_served: io error: %s\n", e.what());
+    return 3;
+  } catch (const domain_error& e) {
+    std::fprintf(stderr, "kronlab_served: validation failed: %s\n",
+                 e.what());
+    return 4;
+  } catch (const invalid_argument& e) {
+    std::fprintf(stderr, "kronlab_served: %s\n", e.what());
+    return 2;
+  } catch (const error& e) {
+    std::fprintf(stderr, "kronlab_served: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kronlab_served: unexpected error: %s\n",
+                 e.what());
+    return 1;
+  }
+}
