@@ -1,0 +1,35 @@
+// LINT-EXPECT: durable-io
+// LINT-AS: src/kronlab/gen/fixture.cpp
+//
+// Naked filesystem mutation outside src/kronlab/io/: a bare rename is not
+// a commit protocol (no fsync, no fault injection), so a crash can leave a
+// torn file under the final name.  All mutating file ops must route
+// through io::FileOps / io::publish_file / io::remove_file.
+
+#include <cstdio>
+#include <string>
+
+namespace kronlab {
+
+void bad_publish(const std::string& tmp, const std::string& path) {
+  std::rename(tmp.c_str(), path.c_str());           // rule fires
+  rename(tmp.c_str(), path.c_str());                // rule fires (unqualified)
+  std::remove(path.c_str());                        // rule fires
+  std::FILE* f = std::fopen(path.c_str(), "wb");    // rule fires (write mode)
+  std::FILE* g = fopen(path.c_str(), "a+");         // rule fires (append mode)
+  if (f) std::fclose(f);
+  if (g) std::fclose(g);
+}
+
+void fine(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");    // read-only: clean
+  if (f) std::fclose(f);
+  // The string literal below must not fire — strings are stripped.
+  const std::string doc = "call std::rename( later";
+  // One sanctioned call, reason given:
+  // bootstrap path that predates io::FileOps.  kronlab-lint: allow(durable-io)
+  std::rename(path.c_str(), (path + ".bak").c_str());
+  (void)doc;
+}
+
+} // namespace kronlab

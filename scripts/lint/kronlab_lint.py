@@ -18,6 +18,13 @@ Rules (regex/AST-lite over comment- and string-stripped source):
   no-assert          No C `assert()` in library code: use KRONLAB_REQUIRE /
                      KRONLAB_DBG_ASSERT so release builds keep API contracts
                      and error messages stay typed.
+  durable-io         No naked `rename()` / `remove()` / write-mode `fopen()`
+                     in src/, bench/, or tools/ outside the durable-io layer
+                     (src/kronlab/io/): file mutation must route through
+                     io::FileOps / io::publish_file / io::remove_file so the
+                     commit protocol stays atomic and fault-injectable.
+                     Tests and examples are exempt — they simulate corruption
+                     on purpose.
 
 Escape hatch: a finding whose line (or the line above it) contains
 `kronlab-lint: allow(<rule-id>)` is suppressed; the comment should say why.
@@ -237,6 +244,42 @@ def rule_no_assert(rel: str, stripped: list[str]):
             )
 
 
+DURABLE_CALL_RE = re.compile(
+    r"(?<![\w.:>])(?:std\s*::\s*)?(rename|remove|fopen)\s*\("
+)
+FOPEN_MODE_RE = re.compile(r'fopen\s*\([^;]*?,\s*"([^"]*)"')
+
+
+def rule_durable_io(rel: str, raw_lines: list[str], stripped: list[str]):
+    rel = rel.replace("\\", "/")
+    top = rel.split("/", 1)[0]
+    if top not in ("src", "bench", "tools"):
+        return  # tests/examples simulate corruption directly — exempt
+    if rel.startswith("src/kronlab/io/"):
+        return  # the durable-io helper layer itself
+    for idx, line in enumerate(stripped, 1):
+        for m in DURABLE_CALL_RE.finditer(line):
+            fn = m.group(1)
+            if fn == "fopen":
+                # Mode strings are blanked in the stripped view — inspect
+                # the raw line.  Unparseable modes flag conservatively.
+                raw = raw_lines[idx - 1] if idx - 1 < len(raw_lines) else ""
+                mode = FOPEN_MODE_RE.search(raw)
+                if mode and not set(mode.group(1)) & set("wa+"):
+                    continue  # read-only open
+                yield idx, "durable-io", (
+                    "write-mode fopen outside src/kronlab/io/ — open through "
+                    "io::FileOps so writes stay crash-safe and "
+                    "fault-injectable"
+                )
+            else:
+                yield idx, "durable-io", (
+                    f"naked {fn}() outside src/kronlab/io/ — use "
+                    "io::publish_file / io::remove_file (atomic, "
+                    "fault-injectable) instead"
+                )
+
+
 def lint_file(path: Path, rel: str) -> list[Finding]:
     try:
         raw = path.read_text(encoding="utf-8", errors="replace")
@@ -261,6 +304,7 @@ def lint_file(path: Path, rel: str) -> list[Finding]:
     collect(rule_no_endl(rel, stripped))
     collect(rule_header_guard(rel, raw, stripped))
     collect(rule_no_assert(rel, stripped))
+    collect(rule_durable_io(rel, raw_lines, stripped))
     return findings
 
 

@@ -36,6 +36,15 @@ public:
   explicit domain_error(const std::string& what) : error(what) {}
 };
 
+/// Generated or stored data contradicts the ground truth / its own
+/// checksums: a corrupted durable segment, a drifting edge stream, a
+/// resume against a different generation spec.  Derives from domain_error
+/// so every tool's "validation failed" exit path (code 4) covers it.
+class validation_error : public domain_error {
+public:
+  explicit validation_error(const std::string& what) : domain_error(what) {}
+};
+
 /// Input file could not be parsed.
 class io_error : public error {
 public:

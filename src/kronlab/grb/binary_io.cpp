@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/io/file_ops.hpp"
 #include "kronlab/obs/trace.hpp"
 
 namespace kronlab::grb {
@@ -79,13 +80,19 @@ void write_binary(std::ostream& out, const Csr<count_t>& a) {
   if (!out) throw io_error("failed writing kronlab binary matrix");
 }
 
-Csr<count_t> read_binary(std::istream& in) {
+Csr<count_t> read_binary(std::istream& in, const ReadOptions& opt) {
   char magic[8];
   in.read(magic, sizeof magic);
   const bool v2 = in && std::memcmp(magic, kMagicV2, sizeof kMagicV2) == 0;
   const bool v1 = in && std::memcmp(magic, kMagicV1, sizeof kMagicV1) == 0;
   if (!v1 && !v2) {
     throw io_error("not a kronlab binary matrix (bad magic)");
+  }
+  if (v1 && !opt.allow_legacy_v1) {
+    throw io_error(
+        "kronlab binary matrix: legacy checksum-less KRNLCSR1 file "
+        "refused — corruption in it would go undetected; re-save it as "
+        "KRNLCSR2, or opt in explicitly with ReadOptions::allow_legacy_v1");
   }
   std::uint64_t hash = 0xcbf29ce484222325ULL;
   std::uint64_t* hp = v2 ? &hash : nullptr;
@@ -143,11 +150,12 @@ void write_binary_file(const std::string& path, const Csr<count_t>& a) {
   write_binary(out, a);
 }
 
-Csr<count_t> read_binary_file(const std::string& path) {
+Csr<count_t> read_binary_file(const std::string& path,
+                              const ReadOptions& opt) {
   trace::Span span("io", "read_binary", io_detail(path));
   std::ifstream in(path, std::ios::binary);
   if (!in) throw io_error("cannot open: " + path);
-  return read_binary(in);
+  return read_binary(in, opt);
 }
 
 void write_snapshot(std::ostream& out, const SnapshotEnvelope& snap) {
@@ -202,9 +210,7 @@ void write_snapshot_file(const std::string& path,
     if (!out) throw io_error("cannot open for writing: " + tmp);
     write_snapshot(out, snap);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw io_error("cannot rename " + tmp + " -> " + path);
-  }
+  io::publish_file(tmp, path);
 }
 
 SnapshotEnvelope read_snapshot_file(const std::string& path) {

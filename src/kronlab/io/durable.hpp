@@ -1,0 +1,163 @@
+// kronlab/io/durable.hpp
+//
+// Durable sharded edge output: KRNLSEG1 segments + a KRNLMAN1 manifest.
+//
+// The crash-tolerance backbone of extreme-scale streaming generation
+// (io/stream_gen.hpp): a multi-hour run must survive a kill at any
+// instruction boundary losing at most one uncommitted segment.
+//
+// KRNLSEG1 segment file (little-endian 64-bit words after an 8-byte
+// magic):
+//
+//   "KRNLSEG1" | spec_hash | shard | seg_index | first_edge | num_edges
+//   | (p, q) * num_edges | fnv1a64_words(header..payload)
+//
+// Fixed-size binary edge records; the trailing FNV-1a word covers every
+// word between the magic and itself, so a torn or bit-flipped segment is
+// detected on read.  `first_edge` is the edge ordinal within the shard's
+// deterministic stream — segments of one shard tile [0, edges) exactly.
+//
+// Commit protocol (all through io/file_ops.hpp):
+//
+//   1. the segment is written to `<final>.tmp`, fsync'd, and sealed by an
+//      atomic rename to its final name — a crash mid-write leaves only a
+//      `.tmp` the resume scan deletes;
+//   2. the manifest is rewritten (same write-temp → fsync → rename
+//      dance) recording the new per-shard committed state.
+//
+// KRNLMAN1 manifest:
+//
+//   "KRNLMAN1" | version | spec_hash | shards | segment_edges
+//   | total_edges | per shard: (segments, edges, chain_hash)
+//   | fnv1a64_words(all preceding words)
+//
+// `chain_hash` is the word-folded FNV-1a of the shard's committed
+// payload words, folded segment after segment — the checksum over the
+// concatenated committed segments that the kill/resume matrix compares
+// against an uninterrupted run.  The stream cursor of shard s is simply
+// (s, edges_s): generation resumes at that edge ordinal.
+//
+// Resume invariants (scan_store):
+//   * the manifest, if present, must parse, checksum, and match the
+//     spec hash / shard count / segment size of the resuming run;
+//   * every committed segment must exist, checksum, and chain-hash to
+//     the manifest's record — anything else is a validation_error (the
+//     store is corrupt, not merely behind);
+//   * a sealed segment PAST the committed range is adopted iff it is the
+//     exact next segment (index, first_edge, spec hash, checksum all
+//     match) — the crash-between-seal-and-manifest-commit window;
+//     otherwise it is deleted and regenerated;
+//   * `.tmp` files are always deleted.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kronlab/common/types.hpp"
+#include "kronlab/io/file_ops.hpp"
+
+namespace kronlab::io {
+
+/// FNV-1a offset basis — chain hashes start here.
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+/// Word-folded FNV-1a: one xor-multiply per little-endian int64 word
+/// instead of per byte.  Every durable-store checksum and chain hash
+/// uses this fold — resume re-verifies the whole committed prefix, so
+/// the hash sits on the restart hot path, where byte-serial FNV would
+/// make every restart pay a large fraction of a cold run just
+/// re-hashing (bench_streaming's `resume_scan` section).  A flipped bit
+/// still cascades through every later word.  `nbytes` must be a
+/// multiple of 8: the formats are whole-word by construction.
+[[nodiscard]] inline std::uint64_t fnv1a64_words(
+    const void* data, std::size_t nbytes,
+    std::uint64_t basis = kFnvBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = basis;
+  for (std::size_t i = 0; i + 8 <= nbytes; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = (h ^ w) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct SegmentHeader {
+  std::uint64_t spec_hash = 0;
+  index_t shard = 0;
+  count_t seg_index = 0;  ///< 0-based, dense per shard
+  count_t first_edge = 0; ///< shard-stream ordinal of the first record
+  count_t num_edges = 0;
+};
+
+/// One decoded segment.  `payload_hash` is the FNV-1a over the payload
+/// words alone (the unit the manifest chains).
+struct SegmentData {
+  SegmentHeader header;
+  std::vector<std::pair<index_t, index_t>> edges;
+  std::uint64_t payload_hash = kFnvBasis;
+};
+
+/// Final name of shard `shard`'s segment `seg_index` inside the store
+/// directory ("shard-0003-seg-000042.krnlseg").
+[[nodiscard]] std::string segment_name(index_t shard, count_t seg_index);
+
+/// Write + seal one segment (write-temp → fsync → atomic rename).
+/// Returns the payload FNV-1a.  Throws io_error on any failed step; the
+/// final name is never visible unless every byte is on disk.
+std::uint64_t write_segment(
+    FileOps& ops, const std::string& dir, const SegmentHeader& header,
+    const std::vector<std::pair<index_t, index_t>>& edges);
+
+/// Read + verify one segment file; throws io_error when the file is
+/// missing/unreadable and validation_error when it is torn or fails its
+/// checksum.
+[[nodiscard]] SegmentData read_segment(FileOps& ops,
+                                       const std::string& path);
+
+/// Per-shard committed state.
+struct ShardProgress {
+  count_t segments = 0; ///< committed (sealed + manifest-recorded)
+  count_t edges = 0;    ///< committed edge records = resume cursor
+  std::uint64_t chain_hash = kFnvBasis; ///< FNV over committed payloads
+};
+
+struct Manifest {
+  std::uint64_t spec_hash = 0;
+  count_t segment_edges = 0; ///< records per segment (last may be short)
+  std::vector<ShardProgress> shards;
+
+  [[nodiscard]] count_t total_edges() const;
+};
+
+/// Atomically replace the store's manifest (write-temp → fsync → rename).
+void write_manifest(FileOps& ops, const std::string& dir,
+                    const Manifest& man);
+
+/// Read + verify the manifest; nullopt when none exists yet, io_error /
+/// validation_error when present but unreadable / corrupt.
+[[nodiscard]] std::optional<Manifest> read_manifest(FileOps& ops,
+                                                    const std::string& dir);
+
+/// Outcome of a resume scan.
+struct ScanResult {
+  Manifest manifest;
+  count_t adopted_segments = 0;   ///< sealed-but-uncommitted, re-committed
+  count_t discarded_files = 0;    ///< tmp / stale files deleted
+  count_t verified_segments = 0;  ///< committed segments re-checksummed
+};
+
+/// Enforce the resume invariants on `dir` (see file comment) and return
+/// the authoritative committed state.  `expected` carries the resuming
+/// run's spec hash / shard count / segment size; a mismatch against a
+/// present manifest throws validation_error (resuming a different spec
+/// into an existing store is never silently "fixed").  When no manifest
+/// exists the store is treated as fresh.
+[[nodiscard]] ScanResult scan_store(FileOps& ops, const std::string& dir,
+                                    const Manifest& expected);
+
+} // namespace kronlab::io

@@ -1,5 +1,7 @@
 #include "kronlab/kron/power.hpp"
 
+#include <algorithm>
+
 #include "kronlab/common/error.hpp"
 #include "kronlab/graph/bipartite.hpp"
 #include "kronlab/grb/kron.hpp"
@@ -123,6 +125,40 @@ Adjacency ChainKronecker::materialize() const {
     acc = grb::kron(acc, factors_[f]);
   }
   return acc;
+}
+
+std::pair<Adjacency, Adjacency> ChainKronecker::collapse_pair() const {
+  KRONLAB_TRACE_SPAN("kron", "chain_collapse_pair");
+  const auto k = factors_.size();
+  KRONLAB_REQUIRE(k >= 2, "collapse_pair requires at least two factors");
+  // The right half must keep a loop-free factor (the product of the
+  // chain's tail is loop-free as soon as one tail factor is).
+  std::size_t last_loop_free = k; // sentinel: none
+  for (std::size_t f = 0; f < k; ++f) {
+    if (grb::has_no_self_loops(factors_[f])) last_loop_free = f;
+  }
+  KRONLAB_DBG_ASSERT(last_loop_free < k,
+                     "validated chain lost its loop-free factor");
+  // Balance |V_L| vs |V_R| over admissible splits s (L = [0,s), R = [s,k)).
+  const index_t total = num_vertices();
+  std::size_t best = 1;
+  index_t best_cost = total + 1;
+  index_t left_n = 1;
+  for (std::size_t s = 1; s < k; ++s) {
+    left_n *= factors_[s - 1].nrows();
+    if (s > last_loop_free) break; // R would have no loop-free factor
+    const index_t cost = std::max(left_n, total / left_n);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = s;
+    }
+  }
+  const auto half = [&](std::size_t lo, std::size_t hi) {
+    Adjacency acc = factors_[lo];
+    for (std::size_t f = lo + 1; f < hi; ++f) acc = grb::kron(acc, factors_[f]);
+    return acc;
+  };
+  return {half(0, best), half(best, k)};
 }
 
 KFactoredVector ChainKronecker::degrees() const {

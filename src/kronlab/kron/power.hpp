@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "kronlab/graph/graph.hpp"
@@ -82,6 +83,16 @@ public:
 
   /// Materialize the full adjacency (validation scales only).
   [[nodiscard]] Adjacency materialize() const;
+
+  /// Collapse the chain into two materialized halves (L, R) with
+  /// C = L ⊗ R, choosing the split that balances the halves' vertex
+  /// counts while keeping a loop-free factor in R — exactly what
+  /// BipartiteKronecker::raw(L, R) requires.  Every ⊗-associative
+  /// ground-truth identity is unchanged by the regrouping, so streaming
+  /// machinery built for pairs (partitioning, oracles, durable
+  /// generation) runs a whole chain at sqrt-of-product memory.  Requires
+  /// at least two factors.
+  [[nodiscard]] std::pair<Adjacency, Adjacency> collapse_pair() const;
 
   /// d_C = ⊗ d_i.
   [[nodiscard]] KFactoredVector degrees() const;

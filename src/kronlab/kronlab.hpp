@@ -50,6 +50,9 @@
 #include "kronlab/grb/ops.hpp"
 #include "kronlab/grb/semiring.hpp"
 #include "kronlab/grb/vector.hpp"
+#include "kronlab/io/durable.hpp"
+#include "kronlab/io/file_ops.hpp"
+#include "kronlab/io/stream_gen.hpp"
 #include "kronlab/kron/clustering.hpp"
 #include "kronlab/kron/community.hpp"
 #include "kronlab/kron/connectivity.hpp"

@@ -6,17 +6,28 @@
 // more often than tail vertices — the same power law the generator
 // produces), so a few thousand cached records absorb most of the work.
 //
-// Not thread-safe by itself: the server guards its instance with a Mutex
-// (one cache, short critical sections — lookup and insert only; misses
-// are computed outside the lock).
+// LruCache is not thread-safe by itself.  ShardedLru is the concurrent
+// form the server uses: the key space is hash-partitioned across N
+// independent (Mutex, LruCache) shards, so executor threads probing
+// different vertices contend only when they hash to the same shard.
+// Recency is per shard — an entry can only be evicted by inserts into
+// its own shard, which preserves the skew-absorbing behavior (hot hub
+// vertices spread across shards and each stays hot within its own).
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
+
+#include "kronlab/common/sync.hpp"
 
 namespace kronlab::serve {
 
@@ -60,6 +71,102 @@ private:
   std::size_t capacity_;
   std::list<std::pair<K, V>> order_; ///< front = most recent
   std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> map_;
+};
+
+/// Thread-safe hash-sharded LRU with built-in hit/miss counters.
+///
+/// `capacity` entries total, split evenly across `shards` (each shard
+/// gets at least one entry; the shard count is clamped so a tiny
+/// capacity never produces zero-sized shards).  capacity == 0 disables
+/// caching entirely, as with LruCache.
+template <typename K, typename V>
+class ShardedLru {
+public:
+  explicit ShardedLru(std::size_t capacity, std::size_t shards = 8)
+      : capacity_(capacity) {
+    if (shards == 0) shards = 1;
+    if (capacity > 0 && shards > capacity) shards = capacity;
+    const std::size_t base = capacity / (shards == 0 ? 1 : shards);
+    const std::size_t extra = capacity % (shards == 0 ? 1 : shards);
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      shards_.push_back(
+          std::make_unique<Shard>(base + (s < extra ? 1 : 0)));
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+  /// Entries currently cached, summed over shards (racy snapshot).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      MutexLock lock(s->mu);
+      n += s->cache.size();
+    }
+    return n;
+  }
+
+  /// Value for `key`, refreshing its recency within the key's shard.
+  /// Counts a hit or a miss.
+  std::optional<V> get(const K& key) {
+    if (capacity_ == 0) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    Shard& s = shard_of(key);
+    MutexLock lock(s.mu);
+    auto v = s.cache.get(key);
+    (v ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    return v;
+  }
+
+  /// Insert (or refresh) `key` in its shard, evicting that shard's LRU
+  /// entry when the shard is full.
+  void put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    Shard& s = shard_of(key);
+    MutexLock lock(s.mu);
+    s.cache.put(key, std::move(value));
+  }
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Which shard `key` maps to (exposed so tests can assert the
+  /// distribution and per-shard eviction independence).
+  [[nodiscard]] std::size_t shard_index(const K& key) const {
+    // splitmix64-style finalizer over std::hash: std::hash<int> is the
+    // identity on most stdlibs, which would pin dense vertex-id ranges
+    // to few shards.
+    std::uint64_t x = static_cast<std::uint64_t>(std::hash<K>{}(key));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % shards_.size());
+  }
+
+private:
+  struct Shard {
+    explicit Shard(std::size_t cap) : cache(cap) {}
+    Mutex mu;
+    LruCache<K, V> cache GUARDED_BY(mu);
+  };
+
+  Shard& shard_of(const K& key) { return *shards_[shard_index(key)]; }
+
+  std::size_t capacity_;
+  /// unique_ptr so Shard (holding a Mutex) needs no move support.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 } // namespace kronlab::serve

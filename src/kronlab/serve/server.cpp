@@ -246,18 +246,10 @@ ProbeResult Server::exec_probe(const Probe& probe) {
 }
 
 kron::VertexRecord Server::cached_vertex(index_t p) {
-  {
-    MutexLock lock(cache_mu_);
-    if (auto hit = cache_.get(p)) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return *hit;
-    }
-  }
-  // Miss: compute outside the lock so concurrent misses overlap; a racing
-  // double-insert of the same record is benign.
-  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (auto hit = cache_.get(p)) return *hit;
+  // Miss: compute outside any shard lock so concurrent misses overlap; a
+  // racing double-insert of the same record is benign.
   const auto rec = oracle_.vertex(p);
-  MutexLock lock(cache_mu_);
   cache_.put(p, rec);
   return rec;
 }
@@ -332,8 +324,8 @@ ServerStats Server::stats() const {
   s.overloaded = overloaded_.load(std::memory_order_relaxed);
   s.malformed = malformed_.load(std::memory_order_relaxed);
   s.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
   for (std::size_t i = 0; i < s.probes_by_op.size(); ++i) {
     s.probes_by_op[i] = probes_by_op_[i].load(std::memory_order_relaxed);
   }

@@ -141,8 +141,10 @@ private:
   /// Op::degree_hist without touching the oracle.
   std::vector<std::pair<count_t, index_t>> degree_hist_;
 
-  Mutex cache_mu_;
-  LruCache<index_t, kron::VertexRecord> cache_ GUARDED_BY(cache_mu_);
+  /// Hash-sharded vertex-record cache: executors probing different
+  /// vertices contend only on same-shard collisions.  Owns the hit/miss
+  /// counters stats() reports.
+  ShardedLru<index_t, kron::VertexRecord> cache_;
 
   Mutex queue_mu_;
   CondVar queue_cv_;
@@ -169,8 +171,6 @@ private:
   std::atomic<std::uint64_t> overloaded_{0};
   std::atomic<std::uint64_t> malformed_{0};
   std::atomic<std::uint64_t> shed_shutdown_{0};
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> cache_misses_{0};
   std::array<std::atomic<std::uint64_t>, 8> probes_by_op_{};
 };
 

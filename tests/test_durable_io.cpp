@@ -1,0 +1,541 @@
+// Crash-tolerance battery for the durable streaming-generation pipeline:
+// segment/manifest format round trips, a kill/resume matrix over every
+// named filesystem fault point asserting byte-identical final stores,
+// fail-injection (io_error, no crash) recoverability, short-write
+// robustness, torn-segment fuzzing, and on-the-fly ground-truth
+// validation catching corrupted stores and perturbed edge streams.
+//
+// The CI release job re-runs this suite with KRONLAB_FAULT_RATE=high,
+// which scales the fuzz iteration counts; every assertion is
+// rate-independent — a resumed run must reproduce the uninterrupted
+// store byte for byte no matter where it died.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kronlab/common/random.hpp"
+#include "kronlab/gen/canonical.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/io/durable.hpp"
+#include "kronlab/io/file_ops.hpp"
+#include "kronlab/io/stream_gen.hpp"
+#include "kronlab/kron/oracle.hpp"
+#include "kronlab/kron/partition.hpp"
+#include "kronlab/kron/power.hpp"
+
+namespace kronlab::io {
+namespace {
+
+/// KRONLAB_FAULT_RATE=high (or a numeric factor) scales the fuzz loops —
+/// the CI release job uses it to widen coverage.
+double fault_rate_scale() {
+  const char* env = std::getenv("KRONLAB_FAULT_RATE");
+  if (!env) return 1.0;
+  if (std::string(env) == "high") return 5.0;
+  const double v = std::strtod(env, nullptr);
+  return v > 0 ? v : 1.0;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("kronlab_durable_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// The product under test: heavy-tail non-bipartite ⊗ bipartite, small
+/// enough that every fault-matrix run is milliseconds, large enough that
+/// every shard seals several segments (so every fault point is reachable
+/// in every shard).
+kron::BipartiteKronecker test_product() {
+  Rng rng(7);
+  auto m = gen::random_nonbipartite_connected(9, 16, rng);
+  auto b = gen::preferential_bipartite(3, 4, 8, rng);
+  return kron::BipartiteKronecker::raw(std::move(m), std::move(b));
+}
+
+StreamGenOptions test_options(std::string dir) {
+  StreamGenOptions opt;
+  opt.dir = std::move(dir);
+  opt.shards = 3;
+  opt.segment_edges = 64;
+  opt.sample_rate = 4; // sample densely — these graphs are tiny
+  return opt;
+}
+
+/// Every file of a store as name → bytes (the byte-identity oracle).
+std::map<std::string, std::string> store_bytes(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  FileOps& ops = real_file_ops();
+  for (const auto& name : ops.list_dir(dir)) {
+    out[name] = *ops.read_file(dir + "/" + name);
+  }
+  return out;
+}
+
+/// Reference store: one uninterrupted run of the canonical product.
+const std::map<std::string, std::string>& reference_store() {
+  static const auto ref = [] {
+    const auto kp = test_product();
+    const auto dir = fresh_dir("reference");
+    generate_durable(real_file_ops(), kp, test_options(dir));
+    return store_bytes(dir);
+  }();
+  return ref;
+}
+
+/// All named fault points of the two file classes.
+std::vector<std::string> all_fault_points() {
+  std::vector<std::string> points;
+  for (const char* tag : {"segment", "manifest"}) {
+    for (const char* op_phase :
+         {"write:before", "write:after", "write:torn", "sync:before",
+          "sync:after", "rename:before", "rename:after"}) {
+      points.push_back(std::string(tag) + ":" + op_phase);
+    }
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Format round trips and corruption detection.
+
+TEST(DurableFormat, SegmentRoundTrip) {
+  const auto dir = fresh_dir("seg_roundtrip");
+  FileOps& ops = real_file_ops();
+  SegmentHeader h;
+  h.spec_hash = 0xabcdef;
+  h.shard = 2;
+  h.seg_index = 5;
+  h.first_edge = 320;
+  h.num_edges = 3;
+  const std::vector<std::pair<index_t, index_t>> edges = {
+      {1, 2}, {1, 9}, {4, 0}};
+  const std::uint64_t payload = write_segment(ops, dir, h, edges);
+  const auto seg = read_segment(ops, dir + "/" + segment_name(2, 5));
+  EXPECT_EQ(seg.header.spec_hash, h.spec_hash);
+  EXPECT_EQ(seg.header.shard, 2);
+  EXPECT_EQ(seg.header.seg_index, 5);
+  EXPECT_EQ(seg.header.first_edge, 320);
+  EXPECT_EQ(seg.edges, edges);
+  EXPECT_EQ(seg.payload_hash, payload);
+  // No .tmp remains after a successful seal.
+  for (const auto& name : ops.list_dir(dir)) {
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
+}
+
+TEST(DurableFormat, SegmentCorruptionIsTyped) {
+  const auto dir = fresh_dir("seg_corrupt");
+  FileOps& ops = real_file_ops();
+  SegmentHeader h;
+  h.num_edges = 2;
+  write_segment(ops, dir, h, {{1, 2}, {3, 4}});
+  const std::string path = dir + "/" + segment_name(0, 0);
+  const std::string good = *ops.read_file(path);
+
+  const auto rewrite = [&](const std::string& bytes) {
+    auto f = ops.create(path);
+    write_all(*f, bytes.data(), bytes.size());
+    f->close();
+  };
+  // Flipped payload byte → checksum failure.
+  std::string flipped = good;
+  flipped[20] = static_cast<char>(flipped[20] ^ 0x40);
+  rewrite(flipped);
+  EXPECT_THROW((void)read_segment(ops, path), validation_error);
+  // Truncated tail (torn write) → typed error, not a crash.
+  rewrite(good.substr(0, good.size() - 5));
+  EXPECT_THROW((void)read_segment(ops, path), validation_error);
+  // Wrong magic.
+  std::string magic = good;
+  magic[0] = 'X';
+  rewrite(magic);
+  EXPECT_THROW((void)read_segment(ops, path), validation_error);
+  // Trailing garbage.
+  rewrite(good + "junk0000");
+  EXPECT_THROW((void)read_segment(ops, path), validation_error);
+  // Missing file is io_error (distinct failure class).
+  ops.remove(path);
+  EXPECT_THROW((void)read_segment(ops, path), io_error);
+}
+
+TEST(DurableFormat, ManifestRoundTripAndCorruption) {
+  const auto dir = fresh_dir("man_roundtrip");
+  FileOps& ops = real_file_ops();
+  EXPECT_FALSE(read_manifest(ops, dir).has_value());
+  Manifest man;
+  man.spec_hash = 77;
+  man.segment_edges = 64;
+  man.shards = {{2, 128, 0xaa}, {1, 40, 0xbb}};
+  write_manifest(ops, dir, man);
+  const auto back = read_manifest(ops, dir);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->spec_hash, 77u);
+  EXPECT_EQ(back->segment_edges, 64);
+  ASSERT_EQ(back->shards.size(), 2u);
+  EXPECT_EQ(back->shards[0].edges, 128);
+  EXPECT_EQ(back->shards[1].chain_hash, 0xbbu);
+  EXPECT_EQ(back->total_edges(), 168);
+
+  std::string bytes = *ops.read_file(dir + "/MANIFEST");
+  bytes[12] = static_cast<char>(bytes[12] ^ 1);
+  auto f = ops.create(dir + "/MANIFEST");
+  write_all(*f, bytes.data(), bytes.size());
+  f->close();
+  EXPECT_THROW((void)read_manifest(ops, dir), validation_error);
+}
+
+// ---------------------------------------------------------------------------
+// The kill/resume matrix — the heart of the battery.
+
+/// Run generation under a kill plan; returns true when the run completed
+/// (the plan's point was never reached again).
+bool run_with_kill(const kron::BipartiteKronecker& kp,
+                   const StreamGenOptions& opt, const std::string& point,
+                   std::uint64_t hits) {
+  FsFaultPlan plan;
+  plan.kill_point = point;
+  plan.kill_hits = hits;
+  FaultyFileOps faulty(real_file_ops(), plan);
+  try {
+    generate_durable(faulty, kp, opt);
+    return true;
+  } catch (const killed_at& k) {
+    EXPECT_EQ(k.point, point);
+    return false;
+  }
+}
+
+TEST(KillResumeMatrix, EveryFaultPointResumesByteIdentical) {
+  const auto kp = test_product();
+  int case_id = 0;
+  for (const auto& point : all_fault_points()) {
+    for (const std::uint64_t hits : {std::uint64_t{1}, std::uint64_t{7}}) {
+      SCOPED_TRACE(point + " hits=" + std::to_string(hits));
+      const auto dir = fresh_dir("matrix_" + std::to_string(case_id++));
+      auto opt = test_options(dir);
+      const bool done = run_with_kill(kp, opt, point, hits);
+      if (!done) {
+        // Resume with clean ops — must complete and reproduce the
+        // uninterrupted run byte for byte.
+        opt.resume = true;
+        generate_durable(real_file_ops(), kp, opt);
+      }
+      EXPECT_EQ(store_bytes(dir), reference_store());
+    }
+  }
+}
+
+TEST(KillResumeMatrix, RepeatedKillsStillMakeProgress) {
+  // A run that dies at every k-th segment seal, resumed each time, must
+  // terminate and reproduce the reference — the commit protocol
+  // guarantees at least one segment of progress per life.
+  const auto kp = test_product();
+  const auto dir = fresh_dir("kill_storm");
+  auto opt = test_options(dir);
+  int lives = 0;
+  for (;; opt.resume = true) {
+    ++lives;
+    ASSERT_LT(lives, 200) << "kill storm failed to converge";
+    if (run_with_kill(kp, opt, "segment:rename:after", 2)) break;
+  }
+  EXPECT_GT(lives, 2); // the plan actually fired
+  EXPECT_EQ(store_bytes(dir), reference_store());
+}
+
+TEST(KillResumeMatrix, AdoptionCoversSealToCommitWindow) {
+  // Killed after a segment seal but before the manifest commit: the
+  // sealed segment is NOT in the manifest, and resume must adopt it
+  // rather than regenerate (and must stay byte-identical).
+  const auto kp = test_product();
+  const auto dir = fresh_dir("adoption");
+  auto opt = test_options(dir);
+  ASSERT_FALSE(run_with_kill(kp, opt, "manifest:write:before", 2));
+  opt.resume = true;
+  const auto rep = generate_durable(real_file_ops(), kp, opt);
+  EXPECT_GE(rep.adopted_segments, 1);
+  EXPECT_EQ(store_bytes(dir), reference_store());
+}
+
+TEST(KillResumeMatrix, TornManifestNeverCommitsPartially) {
+  // Death mid-manifest-write with a torn prefix on disk: the old
+  // manifest was already replaced only on rename, so the store either
+  // has the previous manifest or none — resume completes either way.
+  const auto kp = test_product();
+  const auto dir = fresh_dir("torn_manifest");
+  auto opt = test_options(dir);
+  ASSERT_FALSE(run_with_kill(kp, opt, "manifest:write:torn", 3));
+  opt.resume = true;
+  generate_durable(real_file_ops(), kp, opt);
+  EXPECT_EQ(store_bytes(dir), reference_store());
+}
+
+// ---------------------------------------------------------------------------
+// Fail injection (io_error, no crash) and short writes.
+
+TEST(FaultInjection, FailedOpsThrowIoErrorAndStoreStaysResumable) {
+  const auto kp = test_product();
+  for (const std::string point :
+       {"segment:sync:before", "manifest:rename:before",
+        "segment:write:before"}) {
+    SCOPED_TRACE(point);
+    const auto dir = fresh_dir("fail_inject");
+    auto opt = test_options(dir);
+    FsFaultPlan plan;
+    plan.fail_point = point;
+    plan.fail_hits = 3;
+    FaultyFileOps faulty(real_file_ops(), plan);
+    EXPECT_THROW(generate_durable(faulty, kp, opt), io_error);
+    opt.resume = true;
+    generate_durable(real_file_ops(), kp, opt);
+    EXPECT_EQ(store_bytes(dir), reference_store());
+  }
+}
+
+TEST(FaultInjection, ShortWritesAreLoopedOver) {
+  const auto kp = test_product();
+  const auto dir = fresh_dir("short_writes");
+  FsFaultPlan plan;
+  plan.short_write_cap = 3; // pathological: 3 bytes per write call
+  FaultyFileOps faulty(real_file_ops(), plan);
+  generate_durable(faulty, kp, test_options(dir));
+  EXPECT_EQ(store_bytes(dir), reference_store());
+}
+
+TEST(FaultInjection, PointsHitAreRecordedInOrder) {
+  const auto kp = test_product();
+  const auto dir = fresh_dir("points_hit");
+  FaultyFileOps faulty(real_file_ops(), FsFaultPlan{});
+  generate_durable(faulty, kp, test_options(dir));
+  const auto& points = faulty.points_hit();
+  ASSERT_FALSE(points.empty());
+  // A seal is write* → sync → rename, manifest after segment.
+  EXPECT_EQ(points.front(), "segment:write:before");
+  bool saw_manifest_rename = false;
+  for (const auto& p : points) {
+    saw_manifest_rename |= p == "manifest:rename:after";
+  }
+  EXPECT_TRUE(saw_manifest_rename);
+}
+
+// ---------------------------------------------------------------------------
+// Torn-segment fuzz: random corruption of a killed store's tail.
+
+TEST(TornSegmentFuzz, RandomTailCorruptionIsDetectedOrDiscarded) {
+  const auto kp = test_product();
+  const int iters = static_cast<int>(12 * fault_rate_scale());
+  Rng rng(1234);
+  FileOps& ops = real_file_ops();
+  for (int it = 0; it < iters; ++it) {
+    SCOPED_TRACE(it);
+    const auto dir = fresh_dir("fuzz");
+    auto opt = test_options(dir);
+    // Die somewhere mid-run (vary the seal at which death strikes).
+    const std::uint64_t hits = 1 + rng.next_below(6);
+    ASSERT_FALSE(run_with_kill(kp, opt, "segment:rename:after", hits));
+    // Corrupt the tail: pick any non-manifest file and mangle it.
+    auto names = ops.list_dir(dir);
+    std::vector<std::string> segs;
+    for (const auto& n : names) {
+      if (n.rfind(".krnlseg") != std::string::npos) segs.push_back(n);
+    }
+    ASSERT_FALSE(segs.empty());
+    const auto& victim =
+        segs[static_cast<std::size_t>(rng.next_below(segs.size()))];
+    std::string bytes = *ops.read_file(dir + "/" + victim);
+    const bool truncate = rng.next_below(2) == 0;
+    if (truncate) {
+      bytes.resize(static_cast<std::size_t>(rng.next_below(bytes.size())));
+    } else {
+      const auto at =
+          static_cast<std::size_t>(rng.next_below(bytes.size()));
+      bytes[at] = static_cast<char>(bytes[at] ^ 0x5a);
+    }
+    {
+      auto f = ops.create(dir + "/" + victim);
+      write_all(*f, bytes.data(), bytes.size());
+      f->close();
+    }
+    // The corrupted file is either inside the committed range — resume
+    // must refuse with a typed validation_error — or past it — resume
+    // must discard and regenerate it, landing byte-identical.
+    opt.resume = true;
+    try {
+      generate_durable(ops, kp, opt);
+      EXPECT_EQ(store_bytes(dir), reference_store());
+    } catch (const validation_error&) {
+      // Corruption inside the committed range: correctly refused.
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming validation against the ground-truth oracle.
+
+TEST(StreamValidation, PerturbedEdgeIsCaught) {
+  const auto kp = test_product();
+  kron::GroundTruthOracle oracle(kp);
+  const kron::PartitionedStream part(kp, 1);
+  StreamValidator v(oracle, /*seed=*/1, /*rate=*/1);
+  v.begin_shard(false);
+  count_t n = 0;
+  EXPECT_THROW(
+      {
+        part.for_each_entry(0, [&](index_t p, index_t q) {
+          // Perturb the 10th edge to a guaranteed non-edge (q out of
+          // range maps to "not an edge", the try_edge probe form).
+          v.observe(p, ++n == 10 ? kp.num_vertices() + 7 : q);
+        });
+        v.end_shard();
+      },
+      validation_error);
+}
+
+TEST(StreamValidation, DroppedEdgeIsCaughtByDegreeCheck) {
+  const auto kp = test_product();
+  kron::GroundTruthOracle oracle(kp);
+  const kron::PartitionedStream part(kp, 1);
+  StreamValidator v(oracle, /*seed=*/1, /*rate=*/1);
+  v.begin_shard(false);
+  count_t n = 0;
+  EXPECT_THROW(
+      {
+        part.for_each_entry(0, [&](index_t p, index_t q) {
+          if (++n != 5) v.observe(p, q); // silently drop one edge
+        });
+        v.end_shard();
+      },
+      validation_error);
+}
+
+TEST(StreamValidation, CleanStreamPassesAndSamplesSublinearly) {
+  const auto kp = test_product();
+  kron::GroundTruthOracle oracle(kp);
+  const kron::PartitionedStream part(kp, 1);
+  const count_t total = part.entries_of(0);
+  // rate=1 checks everything…
+  StreamValidator all(oracle, 1, 1);
+  all.begin_shard(false);
+  part.for_each_entry(0, [&](index_t p, index_t q) { all.observe(p, q); });
+  all.end_shard();
+  EXPECT_EQ(all.edges_checked(), total);
+  EXPECT_GT(all.rows_checked(), 0);
+  // …while a high rate probes a strict sample (sublinear work), from
+  // O(1) validator state either way.
+  StreamValidator sparse(oracle, 1, 64);
+  sparse.begin_shard(false);
+  part.for_each_entry(0,
+                      [&](index_t p, index_t q) { sparse.observe(p, q); });
+  sparse.end_shard();
+  EXPECT_LT(sparse.edges_checked(), total / 8);
+  static_assert(sizeof(StreamValidator) < 128,
+                "validator must hold O(1) state, not per-row structures");
+}
+
+TEST(StreamValidation, VerifyStoreCatchesCommittedCorruption) {
+  const auto kp = test_product();
+  const auto dir = fresh_dir("verify_corrupt");
+  const auto opt = test_options(dir);
+  generate_durable(real_file_ops(), kp, opt);
+  EXPECT_NO_THROW((void)verify_store(real_file_ops(), kp, opt));
+  // Flip one payload byte of a committed segment.
+  const std::string path = dir + "/" + segment_name(1, 1);
+  std::string bytes = *real_file_ops().read_file(path);
+  bytes[48] = static_cast<char>(bytes[48] ^ 2);
+  auto f = real_file_ops().create(path);
+  write_all(*f, bytes.data(), bytes.size());
+  f->close();
+  EXPECT_THROW((void)verify_store(real_file_ops(), kp, opt),
+               validation_error);
+}
+
+TEST(StreamValidation, ResumeAgainstDifferentSpecIsRefused) {
+  const auto kp = test_product();
+  const auto dir = fresh_dir("spec_mismatch");
+  auto opt = test_options(dir);
+  generate_durable(real_file_ops(), kp, opt);
+  Rng rng(99);
+  const auto other = kron::BipartiteKronecker::raw(
+      gen::random_nonbipartite_connected(9, 16, rng),
+      gen::preferential_bipartite(3, 4, 8, rng));
+  opt.resume = true;
+  EXPECT_THROW(generate_durable(real_file_ops(), other, opt),
+               validation_error);
+}
+
+// ---------------------------------------------------------------------------
+// Resume cursor arithmetic.
+
+TEST(ResumeCursor, ForEachEntryFromMatchesSuffixAtEveryOffset) {
+  const auto kp = test_product();
+  const kron::PartitionedStream part(kp, 3);
+  for (index_t r = 0; r < 3; ++r) {
+    std::vector<std::pair<index_t, index_t>> full;
+    part.for_each_entry(
+        r, [&](index_t p, index_t q) { full.emplace_back(p, q); });
+    // Every offset: boundaries, row interiors, pair interiors, the end.
+    for (count_t skip = 0; skip <= static_cast<count_t>(full.size());
+         ++skip) {
+      std::vector<std::pair<index_t, index_t>> tail;
+      part.for_each_entry_from(
+          r, skip, [&](index_t p, index_t q) { tail.emplace_back(p, q); });
+      ASSERT_EQ(tail.size(), full.size() - static_cast<std::size_t>(skip))
+          << "rank " << r << " skip " << skip;
+      ASSERT_TRUE(std::equal(tail.begin(), tail.end(),
+                             full.begin() + static_cast<std::ptrdiff_t>(skip)))
+          << "rank " << r << " skip " << skip;
+    }
+  }
+}
+
+TEST(ResumeCursor, ScaleChainCollapseStreamsTheSameProduct) {
+  // collapse_pair regroups the chain; the streamed edge set must equal
+  // the materialized chain product's.
+  Rng rng(5);
+  auto a = gen::random_nonbipartite_connected(5, 8, rng);
+  auto b = gen::preferential_bipartite(2, 3, 5, rng);
+  const auto chain = kron::ChainKronecker::of({a, b, b});
+  auto [l, r] = chain.collapse_pair();
+  const auto kp = kron::BipartiteKronecker::raw(l, r);
+  EXPECT_EQ(kp.num_vertices(), chain.num_vertices());
+  EXPECT_EQ(kp.num_edges(), chain.num_edges());
+  const auto direct = chain.materialize();
+  const auto via_pair = kp.materialize();
+  EXPECT_EQ(direct.row_ptr(), via_pair.row_ptr());
+  EXPECT_EQ(direct.col_idx(), via_pair.col_idx());
+}
+
+// ---------------------------------------------------------------------------
+// Report bookkeeping.
+
+TEST(Report, CountersAreConsistent) {
+  const auto kp = test_product();
+  const auto dir = fresh_dir("report");
+  auto opt = test_options(dir);
+  const auto cold = generate_durable(real_file_ops(), kp, opt);
+  const kron::PartitionedStream part(kp, opt.shards);
+  count_t total = 0;
+  for (index_t s = 0; s < opt.shards; ++s) total += part.entries_of(s);
+  EXPECT_EQ(cold.edges_written, total);
+  EXPECT_EQ(cold.edges_resumed, 0);
+  EXPECT_EQ(cold.manifest.total_edges(), total);
+  EXPECT_GT(cold.segments_sealed, opt.shards); // several per shard
+  EXPECT_GT(cold.rows_checked, 0);
+  EXPECT_GT(cold.edges_checked, 0);
+
+  opt.resume = true;
+  const auto warm = generate_durable(real_file_ops(), kp, opt);
+  EXPECT_EQ(warm.edges_written, 0);
+  EXPECT_EQ(warm.edges_resumed, total);
+  EXPECT_EQ(warm.verified_segments, cold.segments_sealed);
+}
+
+} // namespace
+} // namespace kronlab::io

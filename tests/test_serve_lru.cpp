@@ -1,0 +1,166 @@
+// Unit battery for the serving-layer caches: LruCache recency/eviction
+// semantics and the ShardedLru wrapper's shard distribution, per-shard
+// eviction independence, degenerate capacities, hit/miss counters, and
+// basic thread safety under concurrent mixed get/put.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "kronlab/serve/lru.hpp"
+
+namespace kronlab::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LruCache.
+
+TEST(LruCache, EvictsLeastRecentlyUsedInOrder) {
+  LruCache<int, int> c(3);
+  c.put(1, 10);
+  c.put(2, 20);
+  c.put(3, 30);
+  // Touch 1 so 2 becomes the LRU entry.
+  EXPECT_EQ(c.get(1), 10);
+  c.put(4, 40); // evicts 2
+  EXPECT_FALSE(c.get(2).has_value());
+  EXPECT_EQ(c.get(1), 10);
+  EXPECT_EQ(c.get(3), 30);
+  EXPECT_EQ(c.get(4), 40);
+  c.put(5, 50); // recency is now 4,3,1 — evicts 1
+  EXPECT_FALSE(c.get(1).has_value());
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(LruCache, PutRefreshesValueAndRecency) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  c.put(1, 11); // refresh: 1 is now MRU, value updated
+  c.put(3, 30); // evicts 2, not 1
+  EXPECT_EQ(c.get(1), 11);
+  EXPECT_FALSE(c.get(2).has_value());
+  EXPECT_EQ(c.get(3), 30);
+}
+
+TEST(LruCache, CapacityZeroDisables) {
+  LruCache<int, int> c(0);
+  c.put(1, 10);
+  EXPECT_FALSE(c.get(1).has_value());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LruCache, CapacityOneHoldsExactlyTheLastInsert) {
+  LruCache<int, int> c(1);
+  c.put(1, 10);
+  EXPECT_EQ(c.get(1), 10);
+  c.put(2, 20);
+  EXPECT_FALSE(c.get(1).has_value());
+  EXPECT_EQ(c.get(2), 20);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedLru.
+
+TEST(ShardedLru, HitAndMissCountersTrackGets) {
+  ShardedLru<int, int> c(64, 4);
+  EXPECT_FALSE(c.get(1).has_value());
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 0u);
+  c.put(1, 10);
+  EXPECT_EQ(c.get(1), 10);
+  EXPECT_EQ(c.get(1), 10);
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(ShardedLru, KeysSpreadAcrossShards) {
+  ShardedLru<int, int> c(1024, 8);
+  ASSERT_EQ(c.num_shards(), 8u);
+  std::vector<int> per_shard(8, 0);
+  for (int k = 0; k < 4096; ++k) {
+    per_shard[c.shard_index(k)]++;
+  }
+  // A dense integer key range must not collapse onto few shards (the
+  // mixer exists precisely because std::hash<int> is the identity).
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_GT(per_shard[s], 4096 / 8 / 2) << "shard " << s << " starved";
+    EXPECT_LT(per_shard[s], 4096 / 8 * 2) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardedLru, ShardIndexIsStablePerKey) {
+  ShardedLru<int, int> c(64, 4);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(c.shard_index(k), c.shard_index(k));
+  }
+}
+
+TEST(ShardedLru, EvictionIsPerShard) {
+  // Fill one shard to its brim; inserts into OTHER shards must never
+  // evict the full shard's entries.
+  ShardedLru<int, int> c(16, 4); // 4 entries per shard
+  const std::size_t target = c.shard_index(0);
+  std::vector<int> in_target, elsewhere;
+  for (int k = 0; in_target.size() < 4 || elsewhere.size() < 32; ++k) {
+    (c.shard_index(k) == target ? in_target : elsewhere).push_back(k);
+  }
+  for (std::size_t i = 0; i < 4; ++i) c.put(in_target[i], in_target[i]);
+  for (const int k : elsewhere) c.put(k, k);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.get(in_target[i]), in_target[i])
+        << "cross-shard insert evicted a full shard's entry";
+  }
+}
+
+TEST(ShardedLru, CapacityZeroDisablesAndCountsMisses) {
+  ShardedLru<int, int> c(0, 8);
+  c.put(1, 10);
+  EXPECT_FALSE(c.get(1).has_value());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(ShardedLru, TinyCapacityClampsShardCount) {
+  // capacity 1 with 8 requested shards must clamp to 1 shard of 1 entry,
+  // never 8 shards of 0 (which would silently disable caching).
+  ShardedLru<int, int> c(1, 8);
+  EXPECT_EQ(c.num_shards(), 1u);
+  c.put(7, 70);
+  EXPECT_EQ(c.get(7), 70);
+  // capacity 3 over 2 shards: 2 + 1, all usable.
+  ShardedLru<int, int> d(3, 2);
+  EXPECT_EQ(d.num_shards(), 2u);
+  for (int k = 0; k < 3; ++k) d.put(k, k);
+  EXPECT_GE(d.size(), 2u);
+}
+
+TEST(ShardedLru, ConcurrentMixedLoadKeepsCountersCoherent) {
+  ShardedLru<int, int> c(256, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = (t * 7919 + i) % 512;
+        if (auto v = c.get(key)) {
+          EXPECT_EQ(*v, key); // values are never torn or crossed
+        } else {
+          c.put(key, key);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.hits() + c.misses(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(c.size(), 256u);
+}
+
+} // namespace
+} // namespace kronlab::serve
