@@ -143,11 +143,16 @@ TimingStats Harness::time_value(const std::string& section, double seconds) {
 
 void Harness::fold_registry(bool into_last) {
   const auto snap = metrics::snapshot();
-  if (snap.empty()) return;
+  const auto counters = metrics::counters_snapshot();
+  if (snap.empty() && counters.empty()) return;
   metrics::reset();
   for (const auto& [kernel, stats] : snap) {
     metrics::merge(total_[kernel], stats);
     if (into_last) metrics::merge(last_[kernel], stats);
+  }
+  for (const auto& [name, value] : counters) {
+    total_counters_[name] += value;
+    if (into_last) last_counters_[name] += value;
   }
 }
 
@@ -200,9 +205,10 @@ std::string Harness::to_json() const {
   }
   out += labels_.empty() ? "},\n" : "\n  },\n";
 
-  out += "  \"parallel_metrics\": " + metrics::report_json(last_) + ",\n";
-  out += "  \"parallel_metrics_total\": " + metrics::report_json(total_) +
-         "\n";
+  out += "  \"parallel_metrics\": " +
+         metrics::report_json(last_, last_counters_) + ",\n";
+  out += "  \"parallel_metrics_total\": " +
+         metrics::report_json(total_, total_counters_) + "\n";
   out += "}\n";
   return out;
 }
@@ -218,6 +224,9 @@ void Harness::export_trace() {
                    stats.busy_seconds);
     trace::counter("metrics", trace::intern(kernel + ".calls"),
                    static_cast<double>(stats.calls));
+  }
+  for (const auto& [name, value] : total_counters_) {
+    trace::counter("metrics", trace::intern(name), value);
   }
   const auto events = trace::snapshot();
   try {

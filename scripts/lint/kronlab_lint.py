@@ -25,6 +25,13 @@ Rules (regex/AST-lite over comment- and string-stripped source):
                      commit protocol stays atomic and fault-injectable.
                      Tests and examples are exempt — they simulate corruption
                      on purpose.
+  dist-send          No direct `Comm::send` calls from the sharded exchange
+                     (src/kronlab/dist/sharded.cpp): application frames must
+                     route through dist::Aggregator so batching, flush-reason
+                     accounting, and the --no-aggregate escape hatch stay the
+                     single send path.  Control-channel sends that genuinely
+                     bypass aggregation carry an explicit
+                     `kronlab-lint: allow(dist-send)` with a why.
 
 Escape hatch: a finding whose line (or the line above it) contains
 `kronlab-lint: allow(<rule-id>)` is suppressed; the comment should say why.
@@ -280,6 +287,24 @@ def rule_durable_io(rel: str, raw_lines: list[str], stripped: list[str]):
                 )
 
 
+DIST_SEND_RE = re.compile(r"(?<![\w:])(\w+)\s*(?:\.|->)\s*send\s*\(")
+
+
+def rule_dist_send(rel: str, stripped: list[str]):
+    if rel.replace("\\", "/") != "src/kronlab/dist/sharded.cpp":
+        return
+    for idx, line in enumerate(stripped, 1):
+        for m in DIST_SEND_RE.finditer(line):
+            # Sends through the aggregator object are the sanctioned path.
+            if m.group(1) in ("agg", "agg_", "aggregator", "aggregator_"):
+                continue
+            yield idx, "dist-send", (
+                "direct Comm::send from the sharded exchange — enqueue "
+                "through dist::Aggregator (or annotate a control-channel "
+                "send with kronlab-lint: allow(dist-send))"
+            )
+
+
 def lint_file(path: Path, rel: str) -> list[Finding]:
     try:
         raw = path.read_text(encoding="utf-8", errors="replace")
@@ -305,6 +330,7 @@ def lint_file(path: Path, rel: str) -> list[Finding]:
     collect(rule_header_guard(rel, raw, stripped))
     collect(rule_no_assert(rel, stripped))
     collect(rule_durable_io(rel, raw_lines, stripped))
+    collect(rule_dist_send(rel, stripped))
     return findings
 
 

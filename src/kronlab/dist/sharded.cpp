@@ -47,12 +47,18 @@ constexpr std::size_t kCkptMetaWords = 5;
 
 /// Exchange protocol: one tag, typed by the second payload word.  The
 /// first word is the exchange epoch (per-rank counter advanced in
-/// collective order), which sequence-numbers every message so duplicates
-/// and stragglers from earlier exchanges are absorbed.
+/// collective order), which sequence-numbers every frame so duplicates
+/// and stragglers from earlier exchanges are absorbed.  The protocol is
+/// row-granular — one REQ and one ROWS frame per ghost row, plus an
+/// epoch-level empty handshake for peers a rank needs nothing from — and
+/// every frame ships through the per-destination Aggregator, which
+/// coalesces frames bound for one rank into batched wire messages.
+/// Epochs are positive, so raw frames never collide with the batch magic.
 constexpr int kExchTag = 10;
-constexpr word_t kMsgReq = 0;  ///< [epoch, REQ, ids...]
-constexpr word_t kMsgRows = 1; ///< [epoch, ROWS, {v, deg, cols...}...]
-constexpr word_t kMsgAck = 2;  ///< [epoch, ACK]
+constexpr word_t kMsgReq = 0;  ///< [epoch, REQ, v] or handshake [epoch, REQ]
+constexpr word_t kMsgRows = 1; ///< [epoch, ROWS, v, deg, cols...] or
+                               ///< handshake [epoch, ROWS]
+constexpr word_t kMsgAck = 2;  ///< [epoch, ACK] (peer-level, per epoch)
 
 /// Quiescence announcements ride the reliable control channel (negative
 /// tag): a rank that finished its own requests and had its replies acked
@@ -133,48 +139,50 @@ milliseconds retry_horizon(const RetryConfig& cfg) {
 /// Per-peer protocol state for one exchange epoch.
 struct PeerState {
   index_t rank = -1;
-  // Requester side: waiting on this peer's reply to our request.
+  // Requester side: waiting on this peer's row replies to our requests.
+  // have_reply rises when every requested row has landed (pending empty)
+  // and at least one current-epoch ROWS frame arrived (got_rows — the
+  // empty handshake for zero-need peers).
   bool have_reply = false;
+  bool got_rows = false;
+  std::unordered_set<index_t> pending; // rows still missing from this peer
   int req_attempts = 0;
   milliseconds req_timeout{0};
   clock::time_point req_deadline;
-  Message request; // cached for resend
-  // Responder side: waiting on this peer's ack of our reply.
+  // Responder side: waiting on this peer's ack of our reply frames.
   bool served = false;
+  bool handshake_served = false;
   bool acked = false;
   int reply_attempts = 0;
   milliseconds ack_timeout{0};
   clock::time_point ack_deadline;
-  Message reply; // cached for idempotent re-serve
+  // Row id → cached ROWS frame, for idempotent re-serve and resend.
+  std::unordered_map<index_t, Message> reply_cache;
 };
 
-/// Serialize the owned subset of `ids` as a ROWS message.
-Message build_reply(const Shard& shard, word_t epoch,
-                    std::span<const word_t> ids, bool require_owned) {
-  Message reply;
-  reply.push_back(epoch);
-  reply.push_back(kMsgRows);
-  for (const word_t vw : ids) {
-    const auto v = static_cast<index_t>(vw);
-    if (!shard.owns(v)) {
-      KRONLAB_REQUIRE(!require_owned, "request routed to wrong owner");
-      continue; // stale-epoch request predating a row reassignment
-    }
-    const auto cols = shard.rows.row_cols(shard.local(v));
-    reply.push_back(v);
-    reply.push_back(static_cast<word_t>(cols.size()));
-    reply.insert(reply.end(), cols.begin(), cols.end());
-  }
-  return reply;
+/// Serialize one owned row as a ROWS frame: [epoch, ROWS, v, deg, cols...].
+Message build_row_frame(const Shard& shard, word_t epoch, index_t v) {
+  const auto cols = shard.rows.row_cols(shard.local(v));
+  Message frame;
+  frame.reserve(4 + cols.size());
+  frame.push_back(epoch);
+  frame.push_back(kMsgRows);
+  frame.push_back(v);
+  frame.push_back(static_cast<word_t>(cols.size()));
+  frame.insert(frame.end(), cols.begin(), cols.end());
+  return frame;
 }
 
 /// The idempotent request/reply/ack ghost-row exchange.  Returns the
 /// ghost cache (global row id → column list) for every remote row in
-/// `needed`; `needed` is indexed by member position.
+/// `needed`; `needed` is indexed by member position.  All REQ/ROWS/ACK
+/// frames ride the aggregator; retry semantics are unchanged — a retried
+/// batch is deduplicated row by row on both sides.
 std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
     Comm& comm, const Shard& shard, const std::vector<index_t>& members,
     const std::vector<std::vector<index_t>>& needed, word_t epoch,
-    const RetryConfig& cfg, ExchangeStats& stats) {
+    const RetryConfig& cfg, const AggregatorOptions& agg_opt,
+    ExchangeStats& stats) {
   trace::Span exchange_span(
       "dist", "ghost_exchange",
       trace::enabled()
@@ -182,27 +190,41 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
                           " epoch=" + std::to_string(epoch))
           : nullptr);
   std::unordered_map<index_t, std::vector<index_t>> ghost;
+  Aggregator agg(comm, kExchTag, agg_opt);
   std::vector<PeerState> peers;
   std::unordered_map<index_t, std::size_t> peer_pos;
   for (std::size_t i = 0; i < members.size(); ++i) {
     if (members[i] == comm.rank()) continue;
     PeerState ps;
     ps.rank = members[i];
-    ps.request.push_back(epoch);
-    ps.request.push_back(kMsgReq);
-    ps.request.insert(ps.request.end(), needed[i].begin(), needed[i].end());
+    ps.pending.insert(needed[i].begin(), needed[i].end());
     peers.push_back(std::move(ps));
     peer_pos[members[i]] = peers.size() - 1;
   }
   if (peers.empty()) return ghost;
 
+  // One REQ frame per still-missing row — a retry automatically narrows
+  // to the rows that have not landed yet.  A peer this rank needs nothing
+  // from gets the empty handshake so the REQ/ROWS/ACK round (and with it
+  // quiescence accounting) stays uniform across all peer pairs.
+  const auto post_requests = [&](PeerState& ps) {
+    if (ps.pending.empty()) {
+      agg.enqueue(ps.rank, {epoch, kMsgReq});
+    } else {
+      for (const index_t v : ps.pending) {
+        agg.enqueue(ps.rank, {epoch, kMsgReq, v});
+      }
+    }
+  };
+
   const auto start = clock::now();
   const auto hard_deadline = start + retry_horizon(cfg);
   for (auto& ps : peers) {
-    comm.send(ps.rank, kExchTag, ps.request);
+    post_requests(ps);
     ps.req_timeout = cfg.timeout;
     ps.req_deadline = clock::now() + ps.req_timeout;
   }
+  agg.flush_all(); // phase boundary: all initial requests posted
 
   std::size_t awaiting_replies = peers.size();
   std::size_t awaiting_acks = peers.size();
@@ -212,63 +234,99 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
   const auto announce_done = [&] {
     if (done_sent) return;
     for (const auto& ps : peers) {
+      // Quiescence control frames ride the reliable negative-tag channel,
+      // not the aggregated data tag. kronlab-lint: allow(dist-send)
       comm.send(ps.rank, kExchCtlTag, {epoch, kMsgDone});
     }
     done_sent = true;
   };
 
-  const auto handle = [&](index_t from, Message&& msg) {
+  const auto handle_frame = [&](index_t from, const Message& msg,
+                                std::vector<word_t>& ack_epochs) {
     KRONLAB_REQUIRE(msg.size() >= 2, "malformed exchange message");
     const word_t msg_epoch = msg[0];
     const word_t type = msg[1];
     const auto it = peer_pos.find(from);
     PeerState* ps = it != peer_pos.end() ? &peers[it->second] : nullptr;
     if (type == kMsgReq) {
-      const std::span<const word_t> ids(msg.data() + 2, msg.size() - 2);
+      KRONLAB_REQUIRE(msg.size() <= 3, "malformed REQ frame");
       if (ps && msg_epoch == epoch) {
         if (!ps->served) {
-          ps->reply = build_reply(shard, epoch, ids, /*require_owned=*/true);
           ps->served = true;
           ps->ack_timeout = cfg.timeout;
           ps->ack_deadline = clock::now() + ps->ack_timeout;
-        } else {
-          ++stats.dup_requests;
-          note_protocol("exchange/dup_request", comm.rank(), from, epoch,
-                        ps->reply_attempts);
         }
-        comm.send(from, kExchTag, ps->reply);
+        if (msg.size() == 2) { // empty handshake: peer needs none of ours
+          if (ps->handshake_served) {
+            ++stats.dup_requests;
+            note_protocol("exchange/dup_request", comm.rank(), from, epoch,
+                          ps->reply_attempts);
+          }
+          ps->handshake_served = true;
+          agg.enqueue(from, {epoch, kMsgRows});
+        } else {
+          const auto v = static_cast<index_t>(msg[2]);
+          KRONLAB_REQUIRE(shard.owns(v), "request routed to wrong owner");
+          auto [cached, inserted] = ps->reply_cache.try_emplace(v);
+          if (inserted) {
+            cached->second = build_row_frame(shard, epoch, v);
+          } else {
+            // Retried row (the original REQ or our ROWS frame was lost):
+            // re-serve the cached frame idempotently.
+            ++stats.dup_requests;
+            note_protocol("exchange/dup_request", comm.rank(), from, epoch,
+                          ps->reply_attempts);
+          }
+          agg.enqueue(from, Message(cached->second));
+        }
       } else {
         // Straggler from an earlier exchange (or a non-member): serve
         // whatever we still own, stamped with *its* epoch — the sender
         // absorbs or ignores it by sequence number.
-        comm.send(from, kExchTag,
-                  build_reply(shard, msg_epoch, ids,
-                              /*require_owned=*/false));
+        if (msg.size() == 2) {
+          agg.enqueue(from, {msg_epoch, kMsgRows});
+        } else if (const auto v = static_cast<index_t>(msg[2]);
+                   shard.owns(v)) {
+          agg.enqueue(from, build_row_frame(shard, msg_epoch, v));
+        } // not owned: stale request predating a row reassignment
       }
     } else if (type == kMsgRows) {
-      if (ps && msg_epoch == epoch && !ps->have_reply) {
-        std::size_t i = 2;
-        while (i < msg.size()) {
-          KRONLAB_REQUIRE(i + 1 < msg.size(), "malformed ROWS message");
-          const auto v = static_cast<index_t>(msg[i++]);
-          const auto deg = static_cast<std::size_t>(msg[i++]);
-          KRONLAB_REQUIRE(i + deg <= msg.size(), "malformed ROWS message");
-          std::vector<index_t> cols(deg);
-          for (std::size_t k = 0; k < deg; ++k) {
-            cols[k] = static_cast<index_t>(msg[i++]);
+      bool fresh = false;
+      if (ps && msg_epoch == epoch) {
+        if (msg.size() == 2) { // empty-handshake reply
+          fresh = !ps->got_rows;
+        } else {
+          KRONLAB_REQUIRE(msg.size() >= 4, "malformed ROWS frame");
+          const auto v = static_cast<index_t>(msg[2]);
+          const auto deg = static_cast<std::size_t>(msg[3]);
+          KRONLAB_REQUIRE(msg.size() == 4 + deg, "malformed ROWS frame");
+          if (ps->pending.erase(v) > 0) {
+            std::vector<index_t> cols(deg);
+            for (std::size_t k = 0; k < deg; ++k) {
+              cols[k] = static_cast<index_t>(msg[4 + k]);
+            }
+            ghost.emplace(v, std::move(cols));
+            fresh = true;
           }
-          ghost.emplace(v, std::move(cols));
         }
-        ps->have_reply = true;
-        --awaiting_replies;
-      } else {
-        ++stats.dup_replies;
-        note_protocol("exchange/dup_reply", comm.rank(), from,
-                      static_cast<word_t>(msg_epoch), 0);
+        ps->got_rows = true;
+        if (!ps->have_reply && ps->pending.empty()) {
+          ps->have_reply = true;
+          --awaiting_replies;
+        }
       }
-      // Always (re-)ack with the message's own epoch so a responder stuck
-      // on a lost ack from an earlier exchange can retire it.
-      comm.send(from, kExchTag, {msg_epoch, kMsgAck});
+      if (!fresh) {
+        ++stats.dup_replies;
+        note_protocol("exchange/dup_reply", comm.rank(), from, msg_epoch, 0);
+      }
+      // Always (re-)ack with the frame's own epoch so a responder stuck
+      // on a lost ack from an earlier exchange can retire it.  Acks are
+      // collected per wire message (below), one per distinct epoch, so a
+      // re-served batch triggers one ack rather than an ack storm.
+      if (std::find(ack_epochs.begin(), ack_epochs.end(), msg_epoch) ==
+          ack_epochs.end()) {
+        ack_epochs.push_back(msg_epoch);
+      }
     } else if (type == kMsgAck) {
       if (ps && msg_epoch == epoch && ps->served && !ps->acked) {
         ps->acked = true;
@@ -277,6 +335,15 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
     } else {
       KRONLAB_REQUIRE(false, "unknown exchange message type");
     }
+  };
+
+  // Process one wire message — all frames of a batch, or a lone raw
+  // frame — then flush whatever replies/acks it produced.
+  const auto handle_wire = [&](index_t from, std::vector<Message>&& frames) {
+    std::vector<word_t> ack_epochs;
+    for (const auto& msg : frames) handle_frame(from, msg, ack_epochs);
+    for (const word_t e : ack_epochs) agg.enqueue(from, {e, kMsgAck});
+    agg.flush_all();
   };
 
   while (awaiting_replies > 0 || awaiting_acks > 0 ||
@@ -317,17 +384,21 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
                           std::to_string(comm.rank()) + ":" + detail + ")");
     }
     // Earliest pending deadline, capped so liveness is re-checked often.
+    // The aggregator's flush deadline caps the wait too, so buffered
+    // frames never outlive their age budget while we block on receive.
     auto next = now + cfg.timeout;
     for (const auto& ps : peers) {
       if (!ps.have_reply) next = std::min(next, ps.req_deadline);
       if (ps.served && !ps.acked) next = std::min(next, ps.ack_deadline);
     }
+    if (const auto due = agg.next_deadline()) next = std::min(next, *due);
     const auto wait = std::chrono::duration_cast<milliseconds>(
         std::max(next - clock::now(), clock::duration::zero()));
-    if (auto got = comm.recv_any(kExchTag, wait)) {
-      handle(got->first, std::move(got->second));
+    if (auto got = agg.recv_frames(wait)) {
+      handle_wire(got->first, std::move(got->second));
       continue;
     }
+    agg.poll(); // flush buffers whose oldest frame aged past the deadline
     // Deadline sweep.
     const auto t = clock::now();
     for (auto& ps : peers) {
@@ -349,7 +420,7 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
         ++stats.retries;
         note_protocol("exchange/retry", comm.rank(), ps.rank, epoch,
                       ps.req_attempts);
-        comm.send(ps.rank, kExchTag, ps.request);
+        post_requests(ps); // only still-pending rows ride the retry
         ps.req_timeout = backed_off(ps.req_timeout, cfg);
         ps.req_deadline = t + ps.req_timeout;
       }
@@ -370,7 +441,10 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
         ++stats.reply_resends;
         note_protocol("exchange/resend", comm.rank(), ps.rank, epoch,
                       ps.reply_attempts);
-        comm.send(ps.rank, kExchTag, ps.reply);
+        if (ps.handshake_served) agg.enqueue(ps.rank, {epoch, kMsgRows});
+        for (const auto& [v, frame] : ps.reply_cache) {
+          agg.enqueue(ps.rank, Message(frame));
+        }
         ps.ack_timeout = backed_off(ps.ack_timeout, cfg);
         ps.ack_deadline = t + ps.ack_timeout;
       }
@@ -379,11 +453,15 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
         --awaiting_acks;
       }
     }
+    agg.flush_all(); // phase boundary: retry sweep finished
   }
-  // Local quiescence can be reached mid-iteration (handle() or the sweep
-  // clears the last pending ack and the loop condition re-evaluates before
-  // the top-of-loop announcement runs) — peers are still waiting for it.
+  // Local quiescence can be reached mid-iteration (handle_wire() or the
+  // sweep clears the last pending ack and the loop condition re-evaluates
+  // before the top-of-loop announcement runs) — peers still wait for it.
   announce_done();
+  agg.flush_all(); // drain before folding the flush-reason counters
+  stats.agg.merge(agg.stats());
+  agg.publish_metrics();
   return ghost;
 }
 
@@ -435,7 +513,8 @@ Shard generate_shard_checkpointed(Comm& comm,
 
 count_t distributed_global_butterflies(Comm& comm, const Shard& shard,
                                        const RetryConfig& retry,
-                                       ExchangeStats* stats) {
+                                       ExchangeStats* stats,
+                                       const AggregatorOptions& agg_opt) {
   KRONLAB_TRACE_SPAN("dist", "distributed_butterflies");
   const word_t epoch = comm.next_epoch();
   const auto members = comm.live_ranks();
@@ -478,7 +557,7 @@ count_t distributed_global_butterflies(Comm& comm, const Shard& shard,
   // ---- phase 2: fault-tolerant ghost-row exchange ---------------------
   ExchangeStats local_stats;
   const auto ghost = exchange_ghost_rows(comm, shard, members, needed,
-                                         epoch, retry, local_stats);
+                                         epoch, retry, agg_opt, local_stats);
   if (stats) *stats = local_stats;
   // The exchange quiesced, but a member may have died after serving us;
   // the reduction below needs every member, so surface it as a typed
@@ -566,7 +645,7 @@ count_t distributed_ground_truth_squares(
 RecoveryReport supervised_global_butterflies(
     Comm& comm, const kron::BipartiteKronecker& kp,
     const kron::PartitionedStream& ps, const CheckpointConfig& ckpt,
-    const RetryConfig& retry) {
+    const RetryConfig& retry, const AggregatorOptions& agg_opt) {
   KRONLAB_TRACE_SPAN("dist", "supervised_butterflies");
   KRONLAB_REQUIRE(ps.parts() == comm.size(),
                   "partition width must equal the rank count");
@@ -650,7 +729,7 @@ RecoveryReport supervised_global_butterflies(
   // ---- phase 3: resilient exchange + distributed count ----------------
   ExchangeStats xs;
   const count_t counted =
-      distributed_global_butterflies(comm, shard, retry, &xs);
+      distributed_global_butterflies(comm, shard, retry, &xs, agg_opt);
 
   // ---- phase 4: ground-truth self-verification ------------------------
   // The factored oracle (Thms 3–5) is cheap enough to re-evaluate after
@@ -683,6 +762,22 @@ RecoveryReport supervised_global_butterflies(
       static_cast<double>(comm.allreduce_sum(
           static_cast<word_t>(xs.backoff_seconds * 1e6), members)) /
       1e6;
+  report.exchange.agg.frames_enqueued =
+      comm.allreduce_sum(xs.agg.frames_enqueued, members);
+  report.exchange.agg.rows_coalesced =
+      comm.allreduce_sum(xs.agg.rows_coalesced, members);
+  report.exchange.agg.single_flushes =
+      comm.allreduce_sum(xs.agg.single_flushes, members);
+  report.exchange.agg.batches_sent =
+      comm.allreduce_sum(xs.agg.batches_sent, members);
+  report.exchange.agg.capacity_flushes =
+      comm.allreduce_sum(xs.agg.capacity_flushes, members);
+  report.exchange.agg.deadline_flushes =
+      comm.allreduce_sum(xs.agg.deadline_flushes, members);
+  report.exchange.agg.manual_flushes =
+      comm.allreduce_sum(xs.agg.manual_flushes, members);
+  report.exchange.agg.bytes_saved =
+      comm.allreduce_sum(xs.agg.bytes_saved, members);
   report.checkpoints_written =
       comm.allreduce_sum(ckpts_written, members);
   report.checkpoints_restored =

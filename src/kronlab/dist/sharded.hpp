@@ -15,7 +15,11 @@
 //    exponential backoff — duplicates are absorbed, losses are retried,
 //    exhaustion surfaces a typed timeout_error / rank_failed, and a rank
 //    lingers (re-acking resends) until every live peer announces
-//    quiescence, so a dropped final ack cannot strand a peer;
+//    quiescence, so a dropped final ack cannot strand a peer; the
+//    protocol is row-granular and its frames ship through the
+//    per-destination message aggregator (dist/aggregator.hpp), which
+//    coalesces them into capacity/deadline-flushed batches without
+//    touching the retry semantics;
 //  * generation can checkpoint progress through the checksummed snapshot
 //    envelope (grb/binary_io.hpp), and supervised_global_butterflies
 //    reassigns a dead rank's row range to the next surviving rank,
@@ -33,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "kronlab/dist/aggregator.hpp"
 #include "kronlab/dist/comm.hpp"
 #include "kronlab/grb/csr.hpp"
 #include "kronlab/kron/partition.hpp"
@@ -62,13 +67,18 @@ struct RetryConfig {
   std::chrono::milliseconds max_backoff{400}; ///< deadline cap
 };
 
-/// Per-rank protocol counters, aggregated into RecoveryReport.
+/// Per-rank protocol counters, aggregated into RecoveryReport.  The
+/// exchange is row-granular: dup_requests / dup_replies count duplicate
+/// *row frames* absorbed idempotently (a retried batch contributes one
+/// per already-served row), while retries / reply_resends count per-peer
+/// deadline expiries, exactly as before aggregation.
 struct ExchangeStats {
   count_t retries = 0;       ///< request resends after a deadline expired
   count_t reply_resends = 0; ///< reply resends while awaiting an ack
-  count_t dup_requests = 0;  ///< duplicate requests served idempotently
-  count_t dup_replies = 0;   ///< duplicate / stale replies absorbed
+  count_t dup_requests = 0;  ///< duplicate request frames served idempotently
+  count_t dup_replies = 0;   ///< duplicate / stale reply frames absorbed
   double backoff_seconds = 0; ///< total time spent in expired deadlines
+  AggregatorStats agg;        ///< message-aggregation layer counters
 };
 
 /// Checkpoint policy for generate_shard_checkpointed.
@@ -121,9 +131,13 @@ Shard generate_shard_checkpointed(Comm& comm,
 /// in rank order.  Every rank returns the global count.  Throws
 /// timeout_error when a live peer stops answering within the retry
 /// budget, rank_failed when a peer dies while its rows are still needed.
-count_t distributed_global_butterflies(Comm& comm, const Shard& shard,
-                                       const RetryConfig& retry = {},
-                                       ExchangeStats* stats = nullptr);
+/// Row request / reply / ack frames ship through the per-destination
+/// Aggregator (dist/aggregator.hpp); `agg_opt` selects the flush policy
+/// or, with enabled=false (KRONLAB_NO_AGGREGATE), the per-row baseline.
+count_t distributed_global_butterflies(
+    Comm& comm, const Shard& shard, const RetryConfig& retry = {},
+    ExchangeStats* stats = nullptr,
+    const AggregatorOptions& agg_opt = AggregatorOptions::from_env());
 
 /// Each rank's share of the *ground-truth* Σ_p s_C(p) over its owned
 /// product rows, evaluated in factor space (no product data touched);
@@ -149,6 +163,7 @@ count_t distributed_ground_truth_squares(
 RecoveryReport supervised_global_butterflies(
     Comm& comm, const kron::BipartiteKronecker& kp,
     const kron::PartitionedStream& ps, const CheckpointConfig& ckpt = {},
-    const RetryConfig& retry = {});
+    const RetryConfig& retry = {},
+    const AggregatorOptions& agg_opt = AggregatorOptions::from_env());
 
 } // namespace kronlab::dist

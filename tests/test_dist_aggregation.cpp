@@ -1,0 +1,511 @@
+// Tests for the per-destination message aggregator (dist/aggregator.hpp)
+// and its integration with the row-granular ghost-row exchange.
+//
+// Covers, per the aggregation design contract:
+//   * wire format: singles ship raw, batches frame/unpack losslessly,
+//     malformed batches are rejected with typed errors;
+//   * flush policy determinism: capacity flushes split a frame stream
+//     into predictable batches, deadline flushes fire exactly when the
+//     oldest buffered frame ages out (poll()/next_deadline());
+//   * counter accounting: frames_enqueued == rows_coalesced +
+//     single_flushes in both aggregated and disabled (per-row) modes;
+//   * batched retry idempotence: under drop/duplicate/delay fault plans
+//     a retried or duplicated batch delivers each ghost row exactly once
+//     (the distributed count stays bit-identical to the factored truth);
+//   * a many-rank chaos soak with every rank enqueueing, polling, and
+//     draining concurrently — the TSan target for this subsystem.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "kronlab/common/error.hpp"
+#include "kronlab/dist/aggregator.hpp"
+#include "kronlab/dist/comm.hpp"
+#include "kronlab/dist/sharded.hpp"
+#include "kronlab/gen/random_bipartite.hpp"
+#include "kronlab/kron/ground_truth.hpp"
+
+namespace kronlab::dist {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+constexpr int kTag = 42;
+
+/// Options that never flush on their own: unit tests drive every flush
+/// explicitly so batch boundaries are deterministic.
+AggregatorOptions manual_only() {
+  AggregatorOptions opt;
+  opt.capacity_words = 1 << 20;
+  opt.deadline = microseconds(3'600'000'000); // one hour: never in-test
+  return opt;
+}
+
+double fault_rate_scale() {
+  const char* env = std::getenv("KRONLAB_FAULT_RATE");
+  if (env != nullptr && std::string(env) == "high") return 5.0;
+  return 1.0;
+}
+
+RetryConfig fast_retry() {
+  RetryConfig cfg;
+  cfg.timeout = milliseconds(2);
+  cfg.max_retries = 2;
+  cfg.max_backoff = milliseconds(8);
+  return cfg;
+}
+
+kron::BipartiteKronecker sample_product(std::uint64_t seed) {
+  Rng rng(seed);
+  return kron::BipartiteKronecker::raw(
+      gen::random_nonbipartite_connected(16, 40, rng),
+      gen::random_bipartite(5, 5, 12, rng));
+}
+
+// ---------------------------------------------------------------------------
+// Wire format.
+
+TEST(AggregatorWire, SingleFrameShipsRawOnTheWire) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Aggregator agg(comm, kTag, manual_only());
+      agg.enqueue(1, {5, 1, 2, 3});
+      agg.flush(1);
+      EXPECT_EQ(agg.stats().single_flushes, 1);
+      EXPECT_EQ(agg.stats().batches_sent, 0);
+    } else {
+      // The receiver sees the frame byte-identical to an unaggregated
+      // send — no batch header for a buffer of one.
+      const auto msg = comm.recv(0, kTag);
+      EXPECT_FALSE(Aggregator::is_batch(msg));
+      EXPECT_EQ(msg, (Message{5, 1, 2, 3}));
+    }
+  });
+}
+
+TEST(AggregatorWire, BatchRoundTripsLosslesslyInOrder) {
+  run(2, [](Comm& comm) {
+    const std::vector<Message> frames = {
+        {7, 0, 11}, {7, 1, 22, 23}, {7, 2}, {9, 0, 44, 45, 46}};
+    if (comm.rank() == 0) {
+      Aggregator agg(comm, kTag, manual_only());
+      for (const auto& f : frames) agg.enqueue(1, Message(f));
+      agg.flush_all();
+      EXPECT_EQ(agg.stats().batches_sent, 1);
+      EXPECT_EQ(agg.stats().rows_coalesced, 4);
+      EXPECT_GT(agg.stats().bytes_saved, 0);
+    } else {
+      const auto raw = comm.recv(0, kTag);
+      ASSERT_TRUE(Aggregator::is_batch(raw));
+      const auto got = Aggregator::unpack(raw);
+      ASSERT_EQ(got.size(), frames.size());
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        EXPECT_EQ(got[i], frames[i]);
+      }
+    }
+  });
+}
+
+TEST(AggregatorWire, RecvFramesUnpacksBatchesAndWrapsSingles) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Aggregator agg(comm, kTag, manual_only());
+      agg.enqueue(1, {1, 10});
+      agg.enqueue(1, {1, 20});
+      agg.flush(1); // batch of two
+      agg.enqueue(1, {1, 30});
+      agg.flush(1); // raw single
+    } else {
+      Aggregator agg(comm, kTag, manual_only());
+      const auto batch = agg.recv_frames(milliseconds(2000));
+      ASSERT_TRUE(batch.has_value());
+      EXPECT_EQ(batch->first, 0);
+      ASSERT_EQ(batch->second.size(), 2u);
+      EXPECT_EQ(batch->second[0], (Message{1, 10}));
+      EXPECT_EQ(batch->second[1], (Message{1, 20}));
+      const auto single = agg.recv_frames(milliseconds(2000));
+      ASSERT_TRUE(single.has_value());
+      ASSERT_EQ(single->second.size(), 1u);
+      EXPECT_EQ(single->second[0], (Message{1, 30}));
+    }
+  });
+}
+
+TEST(AggregatorWire, MalformedBatchesAreRejected) {
+  const word_t magic = Aggregator::kBatchMagic;
+  // Header truncated.
+  EXPECT_THROW((void)Aggregator::unpack({magic}), invalid_argument);
+  // Negative frame count.
+  EXPECT_THROW((void)Aggregator::unpack({magic, -1}), invalid_argument);
+  // Frame length runs past the end.
+  EXPECT_THROW((void)Aggregator::unpack({magic, 1, 5, 1, 2}),
+               invalid_argument);
+  // Fewer frames than the count promises.
+  EXPECT_THROW((void)Aggregator::unpack({magic, 2, 1, 7}),
+               invalid_argument);
+  // Trailing words after the last frame.
+  EXPECT_THROW((void)Aggregator::unpack({magic, 1, 1, 7, 99}),
+               invalid_argument);
+  // A well-formed batch of one empty + one 2-word frame parses.
+  const auto frames = Aggregator::unpack({magic, 2, 0, 2, 4, 5});
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].empty());
+  EXPECT_EQ(frames[1], (Message{4, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// Flush policy.
+
+TEST(AggregatorFlush, CapacityFlushesAreDeterministic) {
+  run(2, [](Comm& comm) {
+    AggregatorOptions opt = manual_only();
+    opt.capacity_words = 8; // exactly two 4-word frames per batch
+    if (comm.rank() == 0) {
+      Aggregator agg(comm, kTag, opt);
+      for (word_t i = 0; i < 6; ++i) agg.enqueue(1, {1, 0, i, 99});
+      EXPECT_EQ(agg.stats().capacity_flushes, 3);
+      EXPECT_EQ(agg.stats().batches_sent, 3);
+      EXPECT_EQ(agg.stats().rows_coalesced, 6);
+      EXPECT_EQ(agg.stats().single_flushes, 0);
+      EXPECT_EQ(agg.stats().deadline_flushes, 0);
+    } else {
+      Aggregator agg(comm, kTag, opt);
+      for (int b = 0; b < 3; ++b) {
+        const auto got = agg.recv_frames(milliseconds(2000));
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(got->second.size(), 2u);
+        EXPECT_EQ(got->second[0][2], 2 * b);
+        EXPECT_EQ(got->second[1][2], 2 * b + 1);
+      }
+    }
+  });
+}
+
+TEST(AggregatorFlush, OversizeFrameFlushesBufferThenItself) {
+  run(2, [](Comm& comm) {
+    AggregatorOptions opt = manual_only();
+    opt.capacity_words = 4;
+    if (comm.rank() == 0) {
+      Aggregator agg(comm, kTag, opt);
+      agg.enqueue(1, {1, 7});
+      // Larger than capacity on its own: the buffered frame flushes as a
+      // single, then the oversize frame flushes as its own single.
+      agg.enqueue(1, {1, 1, 2, 3, 4, 5});
+      EXPECT_EQ(agg.stats().single_flushes, 2);
+      EXPECT_EQ(agg.stats().batches_sent, 0);
+      EXPECT_EQ(agg.stats().capacity_flushes, 2);
+    } else {
+      EXPECT_EQ(comm.recv(0, kTag), (Message{1, 7}));
+      EXPECT_EQ(comm.recv(0, kTag), (Message{1, 1, 2, 3, 4, 5}));
+    }
+  });
+}
+
+TEST(AggregatorFlush, DeadlineFlushFiresWhenOldestFrameAges) {
+  run(2, [](Comm& comm) {
+    AggregatorOptions opt = manual_only();
+    opt.deadline = microseconds(2000);
+    if (comm.rank() == 0) {
+      Aggregator agg(comm, kTag, opt);
+      agg.enqueue(1, {1, 10});
+      agg.enqueue(1, {1, 20});
+      ASSERT_TRUE(agg.next_deadline().has_value());
+      agg.poll(); // too early: nothing ages out yet
+      EXPECT_EQ(agg.stats().deadline_flushes, 0);
+      std::this_thread::sleep_for(milliseconds(5));
+      agg.poll();
+      EXPECT_EQ(agg.stats().deadline_flushes, 1);
+      EXPECT_EQ(agg.stats().batches_sent, 1);
+      EXPECT_EQ(agg.stats().rows_coalesced, 2);
+      EXPECT_FALSE(agg.next_deadline().has_value());
+    } else {
+      Aggregator agg(comm, kTag, opt);
+      const auto got = agg.recv_frames(milliseconds(2000));
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(got->second.size(), 2u);
+    }
+  });
+}
+
+TEST(AggregatorFlush, DestructorFlushesAsManual) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Aggregator agg(comm, kTag, manual_only());
+      agg.enqueue(1, {1, 10});
+      agg.enqueue(1, {1, 20});
+      // No explicit flush: the destructor drains the buffer.
+    } else {
+      Aggregator agg(comm, kTag, manual_only());
+      const auto got = agg.recv_frames(milliseconds(2000));
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(got->second.size(), 2u);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Counter accounting.
+
+TEST(AggregatorCounters, EnqueuedEqualsCoalescedPlusSingles) {
+  run(2, [](Comm& comm) {
+    AggregatorOptions opt = manual_only();
+    opt.capacity_words = 10;
+    if (comm.rank() == 0) {
+      Aggregator agg(comm, kTag, opt);
+      // A mix of capacity flushes, a manual batch, and a manual single.
+      for (word_t i = 0; i < 9; ++i) agg.enqueue(1, {1, i, 0, 0});
+      agg.flush_all();
+      agg.enqueue(1, {1, 100});
+      agg.flush_all();
+      const auto& st = agg.stats();
+      EXPECT_EQ(st.frames_enqueued, 10);
+      EXPECT_EQ(st.frames_enqueued, st.rows_coalesced + st.single_flushes);
+      EXPECT_EQ(st.capacity_flushes + st.deadline_flushes +
+                    st.manual_flushes,
+                st.batches_sent + st.single_flushes);
+    } else {
+      Aggregator agg(comm, kTag, opt);
+      count_t frames = 0;
+      while (frames < 10) {
+        const auto got = agg.recv_frames(milliseconds(2000));
+        ASSERT_TRUE(got.has_value());
+        frames += static_cast<count_t>(got->second.size());
+      }
+      EXPECT_EQ(frames, 10);
+    }
+  });
+}
+
+TEST(AggregatorCounters, DisabledModeCountsEveryFrameAsSingle) {
+  run(2, [](Comm& comm) {
+    AggregatorOptions opt;
+    opt.enabled = false;
+    if (comm.rank() == 0) {
+      Aggregator agg(comm, kTag, opt);
+      for (word_t i = 0; i < 5; ++i) agg.enqueue(1, {1, i});
+      agg.flush_all(); // no-op: nothing ever buffers
+      const auto& st = agg.stats();
+      EXPECT_EQ(st.frames_enqueued, 5);
+      EXPECT_EQ(st.single_flushes, 5);
+      EXPECT_EQ(st.rows_coalesced, 0);
+      EXPECT_EQ(st.batches_sent, 0);
+      EXPECT_EQ(st.bytes_saved, 0);
+      EXPECT_EQ(st.frames_enqueued, st.rows_coalesced + st.single_flushes);
+    } else {
+      for (word_t i = 0; i < 5; ++i) {
+        const auto msg = comm.recv(0, kTag);
+        EXPECT_FALSE(Aggregator::is_batch(msg));
+        EXPECT_EQ(msg, (Message{1, i}));
+      }
+    }
+  });
+}
+
+TEST(AggregatorCounters, StatsMergeSumsEveryField) {
+  AggregatorStats a;
+  a.frames_enqueued = 10;
+  a.rows_coalesced = 7;
+  a.single_flushes = 3;
+  a.batches_sent = 2;
+  a.capacity_flushes = 1;
+  a.deadline_flushes = 1;
+  a.manual_flushes = 3;
+  a.bytes_saved = 256;
+  AggregatorStats b = a;
+  b.merge(a);
+  EXPECT_EQ(b.frames_enqueued, 20);
+  EXPECT_EQ(b.rows_coalesced, 14);
+  EXPECT_EQ(b.single_flushes, 6);
+  EXPECT_EQ(b.batches_sent, 4);
+  EXPECT_EQ(b.capacity_flushes, 2);
+  EXPECT_EQ(b.deadline_flushes, 2);
+  EXPECT_EQ(b.manual_flushes, 6);
+  EXPECT_EQ(b.bytes_saved, 512);
+}
+
+TEST(AggregatorOptionsEnv, NoAggregateEnvDisables) {
+  // from_env() is the CI escape hatch; exercise both polarities without
+  // leaking the variable into other tests.
+  const char* prev = std::getenv("KRONLAB_NO_AGGREGATE");
+  const std::string saved = prev ? prev : "";
+  setenv("KRONLAB_NO_AGGREGATE", "1", 1);
+  EXPECT_FALSE(AggregatorOptions::from_env().enabled);
+  setenv("KRONLAB_NO_AGGREGATE", "0", 1);
+  EXPECT_TRUE(AggregatorOptions::from_env().enabled);
+  unsetenv("KRONLAB_NO_AGGREGATE");
+  EXPECT_TRUE(AggregatorOptions::from_env().enabled);
+  if (prev) setenv("KRONLAB_NO_AGGREGATE", saved.c_str(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange integration: retry/dedup semantics through the aggregator.
+
+TEST(AggregatedExchange, AggregatedAndPerRowCountsAgree) {
+  const auto kp = sample_product(31);
+  const count_t expect = kron::global_squares(kp);
+  const kron::PartitionedStream ps(kp, 4);
+  for (const bool aggregate : {true, false}) {
+    AggregatorOptions opt;
+    opt.enabled = aggregate;
+    run(4, [&](Comm& comm) {
+      const auto shard = generate_shard(kp, ps, comm.rank());
+      ExchangeStats stats;
+      EXPECT_EQ(
+          distributed_global_butterflies(comm, shard, {}, &stats, opt),
+          expect);
+      EXPECT_EQ(stats.agg.frames_enqueued,
+                stats.agg.rows_coalesced + stats.agg.single_flushes);
+      if (aggregate) {
+        // Ghost-row traffic at 4 ranks must actually coalesce.
+        EXPECT_GT(stats.agg.rows_coalesced, 0);
+        EXPECT_GT(stats.agg.batches_sent, 0);
+      } else {
+        EXPECT_EQ(stats.agg.rows_coalesced, 0);
+        EXPECT_EQ(stats.agg.batches_sent, 0);
+        EXPECT_GT(stats.agg.single_flushes, 0);
+      }
+    });
+  }
+}
+
+TEST(AggregatedExchange, DuplicatedBatchesDeliverEachRowOnce) {
+  // Heavy duplication: whole batched wire messages are delivered twice,
+  // and the per-row dedup (pending-set on the requester, reply cache on
+  // the responder) must absorb every copy — an exact count proves no row
+  // was double-merged into the ghost cache.
+  const auto kp = sample_product(32);
+  const count_t expect = kron::global_squares(kp);
+  const double s = fault_rate_scale();
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.duplicate = std::min(0.3 * s, 0.6);
+  const kron::PartitionedStream ps(kp, 4);
+  run(4, plan, [&](Comm& comm) {
+    const auto shard = generate_shard(kp, ps, comm.rank());
+    ExchangeStats stats;
+    EXPECT_EQ(distributed_global_butterflies(comm, shard, {}, &stats),
+              expect);
+    if (comm.rank() == 0) {
+      EXPECT_GT(comm.fault_stats().duplicated, 0);
+    }
+  });
+}
+
+TEST(AggregatedExchange, RetriedBatchesAreDedupedUnderDrops) {
+  // Drops force request retries; a retried request narrows to the rows
+  // still missing, and re-served rows are absorbed as duplicates.  Runs
+  // both aggregated and per-row so the batched and single-frame retry
+  // paths both stay exact.
+  const auto kp = sample_product(33);
+  const count_t expect = kron::global_squares(kp);
+  const double s = fault_rate_scale();
+  FaultPlan plan;
+  plan.seed = 78;
+  plan.drop = std::min(0.15 * s, 0.3);
+  plan.duplicate = std::min(0.15 * s, 0.3);
+  plan.delay = std::min(0.15 * s, 0.3);
+  const kron::PartitionedStream ps(kp, 4);
+  for (const bool aggregate : {true, false}) {
+    AggregatorOptions opt;
+    opt.enabled = aggregate;
+    run(4, plan, [&](Comm& comm) {
+      const auto shard = generate_shard(kp, ps, comm.rank());
+      ExchangeStats stats;
+      EXPECT_EQ(
+          distributed_global_butterflies(comm, shard, {}, &stats, opt),
+          expect);
+      if (comm.rank() == 0) {
+        const auto faults = comm.fault_stats();
+        EXPECT_GT(faults.dropped + faults.duplicated + faults.delayed, 0);
+      }
+    });
+  }
+}
+
+TEST(AggregatedExchange, RetryExhaustionStillThrowsTimeout) {
+  const auto kp = sample_product(34);
+  const kron::PartitionedStream ps(kp, 2);
+  FaultPlan plan;
+  plan.drop = 1.0; // no application message ever arrives
+  AggregatorOptions opt; // aggregation on: batched requests also time out
+  EXPECT_THROW(
+      run(2, plan,
+          [&](Comm& comm) {
+            const auto shard = generate_shard(kp, ps, comm.rank());
+            distributed_global_butterflies(comm, shard, fast_retry(),
+                                           nullptr, opt);
+          }),
+      timeout_error);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: every rank enqueues to every other rank while draining its
+// own tag — the TSan target exercising concurrent aggregator instances
+// over one Comm fabric.
+
+TEST(AggregatorChaos, AllRanksExchangeThroughAggregatorsConcurrently) {
+  const index_t ranks = 6;
+  const word_t per_peer = 200;
+  run(ranks, [&](Comm& comm) {
+    AggregatorOptions opt;
+    opt.capacity_words = 32;
+    opt.deadline = microseconds(500);
+    Aggregator agg(comm, kTag, opt);
+    std::vector<count_t> got_from(static_cast<std::size_t>(ranks), 0);
+    word_t payload_sum = 0;
+    const auto drain = [&](milliseconds timeout) -> bool {
+      const auto got = agg.recv_frames(timeout);
+      if (!got) return false;
+      for (const auto& f : got->second) {
+        EXPECT_EQ(f.size(), 3u);
+        if (f.size() != 3u) continue;
+        EXPECT_EQ(f[1], got->first);
+        ++got_from[static_cast<std::size_t>(f[1])];
+        payload_sum += f[2];
+      }
+      return true;
+    };
+    for (word_t i = 0; i < per_peer; ++i) {
+      for (index_t r = 0; r < ranks; ++r) {
+        if (r == comm.rank()) continue;
+        agg.enqueue(r, {1, comm.rank(), i});
+      }
+      agg.poll();
+      drain(milliseconds(0));
+    }
+    agg.flush_all();
+    const count_t want =
+        static_cast<count_t>(ranks - 1) * static_cast<count_t>(per_peer);
+    count_t total = 0;
+    for (;;) {
+      total = 0;
+      for (const count_t c : got_from) total += c;
+      if (total >= want) break;
+      const bool progressed = drain(milliseconds(2000));
+      ASSERT_TRUE(progressed)
+          << "stalled at " << total << "/" << want << " frames";
+    }
+    EXPECT_EQ(total, want);
+    for (index_t r = 0; r < ranks; ++r) {
+      EXPECT_EQ(got_from[static_cast<std::size_t>(r)],
+                r == comm.rank() ? 0 : static_cast<count_t>(per_peer));
+    }
+    // Every peer sent Σ i = per_peer*(per_peer-1)/2.
+    EXPECT_EQ(payload_sum, static_cast<word_t>(ranks - 1) * per_peer *
+                               (per_peer - 1) / 2);
+    const auto& st = agg.stats();
+    EXPECT_EQ(st.frames_enqueued, want);
+    EXPECT_EQ(st.frames_enqueued, st.rows_coalesced + st.single_flushes);
+    EXPECT_GT(st.rows_coalesced, 0);
+    comm.barrier(); // nobody tears down while peers still drain
+  });
+}
+
+} // namespace
+} // namespace kronlab::dist
