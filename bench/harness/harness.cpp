@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "kronlab/obs/stats.hpp"
 #include "kronlab/obs/trace.hpp"
 
 namespace kronlab::bench {
@@ -82,6 +83,9 @@ Options parse_args(int argc, char** argv) {
 
 Harness::Harness(std::string name, Options opt)
     : name_(std::move(name)), opt_(std::move(opt)) {
+  // Start every bench from a clean telemetry registry so the folded
+  // counters/percentiles describe this run, not process history.
+  obs::stats_reset();
   if (!opt_.trace_path.empty()) {
     trace::set_enabled(true);
     trace::set_thread_name("main");
@@ -153,6 +157,36 @@ void Harness::fold_registry(bool into_last) {
   for (const auto& [name, value] : counters) {
     total_counters_[name] += value;
     if (into_last) last_counters_[name] += value;
+  }
+}
+
+void Harness::fold_obs_stats() {
+  const auto snap = obs::stats_snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (value == 0) continue;
+    // emplace: a bench's explicit counter() under the same name wins.
+    counters_.emplace(name, static_cast<double>(value));
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    if (hist.count == 0) continue;
+    counters_.emplace(name + ".count", static_cast<double>(hist.count));
+    counters_.emplace(name + ".p50_ms",
+                      static_cast<double>(hist.quantile(0.5)) / 1e6);
+    counters_.emplace(name + ".p99_ms",
+                      static_cast<double>(hist.quantile(0.99)) / 1e6);
+  }
+  if (opt_.trace_path.empty()) return;
+  for (const auto& [name, value] : snap.counters) {
+    if (value == 0) continue;
+    trace::counter("stats", trace::intern(name),
+                   static_cast<double>(value));
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    if (hist.count == 0) continue;
+    trace::counter("stats", trace::intern(name + ".p50_ms"),
+                   static_cast<double>(hist.quantile(0.5)) / 1e6);
+    trace::counter("stats", trace::intern(name + ".p99_ms"),
+                   static_cast<double>(hist.quantile(0.99)) / 1e6);
   }
 }
 
@@ -261,6 +295,7 @@ void Harness::write() {
   // Catch kernels recorded after the final section; benches that only
   // use time_value() get their whole run reported as the "last" snapshot.
   fold_registry(/*into_last=*/last_.empty());
+  fold_obs_stats();
   export_trace();
   const std::string path =
       opt_.json_path.empty() ? "BENCH_" + name_ + ".json" : opt_.json_path;

@@ -125,6 +125,12 @@ private:
   /// Snapshot + reset the metrics registry, merging into the run total
   /// and, when `into_last`, into the reported per-section-final snapshot.
   void fold_registry(bool into_last);
+  /// Fold the obs/stats registry (reset at harness construction) into
+  /// the exported counters: non-zero counters under their registry name,
+  /// histograms as <name>.count/.p50_ms/.p99_ms.  With --trace, the same
+  /// values ride along as cat "stats" counter events so kronlab_trace
+  /// summary can cross-reference them.
+  void fold_obs_stats();
   void export_trace();
   [[nodiscard]] std::string to_json() const;
 

@@ -79,6 +79,12 @@ SPECS: dict[str, list[Metric]] = {
         Metric("agg_exchange_exact", "bool"),
         Metric("faulted_run_verified", "bool"),
         Metric("rank_sweeps_exact", "bool"),
+        # Folded obs/stats latency histogram for the ghost-row exchange
+        # (milliseconds, bucket-midpoint quantiles).  Short epochs make
+        # these noisy, so the bands are wide; they still catch an
+        # exchange that suddenly stalls or serializes.
+        Metric("dist/exchange_epoch.p50_ms", "lower", rel_tol=2.0),
+        Metric("dist/exchange_epoch.p99_ms", "lower", rel_tol=4.0),
     ],
     "fig3_squares": [
         Metric("vertex_speedup_largest", "higher"),
@@ -95,6 +101,11 @@ SPECS: dict[str, list[Metric]] = {
         # by absolute percentage points, not a ratio.
         Metric("resume_overhead_pct", "lower", abs_slack=15.0),
         Metric("resume_bit_identical", "bool"),
+        # Folded obs/stats latency histogram for durable segment commits
+        # (milliseconds).  Individual commits are microseconds-scale, so
+        # the relative bands are generous.
+        Metric("io/segment_commit.p50_ms", "lower", rel_tol=2.0),
+        Metric("io/segment_commit.p99_ms", "lower", rel_tol=4.0),
     ],
 }
 

@@ -1,0 +1,19 @@
+// LINT-EXPECT: obs-log
+// LINT-AS: src/kronlab/dist/fixture.cpp
+//
+// Library code must not print ad-hoc diagnostics: operational events go
+// through obs::log so they are leveled, structured, and capturable by
+// tests.  The allow marker escapes a deliberate terminal write.
+
+#include <cstdio>
+
+void report_retry(int attempt) {
+  // rule fires: this belongs in obs::log(warn, "dist", "retry")...
+  std::fprintf(stderr, "retrying exchange, attempt %d\n", attempt);
+}
+
+void emit_banner() {
+  // Startup banner intentionally bypasses the logger so it shows even
+  // with KRONLAB_LOG=off.  kronlab-lint: allow(obs-log)
+  std::fprintf(stderr, "kronlab fixture banner\n"); // suppressed above
+}

@@ -32,6 +32,15 @@ Rules (regex/AST-lite over comment- and string-stripped source):
                      single send path.  Control-channel sends that genuinely
                      bypass aggregation carry an explicit
                      `kronlab-lint: allow(dist-send)` with a why.
+  obs-log            No ad-hoc printf-family diagnostics: in src/ any
+                     `printf`/`fprintf`/`fputs`-to-stderr is flagged (library
+                     code emits structured obs::log events); in tools/ only
+                     `fprintf(stderr, ...)` is flagged (stdout is the tool's
+                     answer, stderr is operational and belongs to the
+                     logger).  Deliberate CLI output (usage text, die()
+                     funnels, checker findings) carries
+                     `kronlab-lint: allow(obs-log)` with a why.
+                     src/kronlab/obs/log.cpp (the sink itself) is exempt.
 
 Escape hatch: a finding whose line (or the line above it) contains
 `kronlab-lint: allow(<rule-id>)` is suppressed; the comment should say why.
@@ -305,6 +314,39 @@ def rule_dist_send(rel: str, stripped: list[str]):
             )
 
 
+OBS_LOG_SRC_RE = re.compile(
+    r"(?<![\w.])(?:std\s*::\s*)?(?:printf|fprintf|fputs|fputc|puts)\s*\("
+)
+OBS_LOG_STDERR_RE = re.compile(
+    r"(?<![\w.])(?:std\s*::\s*)?(?:fprintf|fputs|fputc|fwrite)\s*\(\s*stderr"
+)
+
+
+def rule_obs_log(rel: str, stripped: list[str]):
+    rel = rel.replace("\\", "/")
+    top = rel.split("/", 1)[0]
+    if rel == "src/kronlab/obs/log.cpp":
+        return  # the logger's own default sink
+    if top == "src":
+        pattern = OBS_LOG_SRC_RE
+        message = (
+            "printf-family diagnostic in library code — emit a structured "
+            "obs::log event instead"
+        )
+    elif top == "tools":
+        pattern = OBS_LOG_STDERR_RE
+        message = (
+            "ad-hoc fprintf(stderr) in a tool — operational messages go "
+            "through obs::log; deliberate CLI output needs "
+            "kronlab-lint: allow(obs-log)"
+        )
+    else:
+        return  # bench/tests/examples print freely
+    for idx, line in enumerate(stripped, 1):
+        if pattern.search(line):
+            yield idx, "obs-log", message
+
+
 def lint_file(path: Path, rel: str) -> list[Finding]:
     try:
         raw = path.read_text(encoding="utf-8", errors="replace")
@@ -331,6 +373,7 @@ def lint_file(path: Path, rel: str) -> list[Finding]:
     collect(rule_no_assert(rel, stripped))
     collect(rule_durable_io(rel, raw_lines, stripped))
     collect(rule_dist_send(rel, stripped))
+    collect(rule_obs_log(rel, stripped))
     return findings
 
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/obs/stats.hpp"
 #include "kronlab/obs/trace.hpp"
 #include "kronlab/parallel/metrics.hpp"
 
@@ -119,6 +120,10 @@ void Aggregator::flush_buffer(index_t to, Buffer& buf, FlushReason reason) {
     case FlushReason::deadline: ++stats_.deadline_flushes; break;
     case FlushReason::manual: ++stats_.manual_flushes; break;
   }
+  static obs::Counter& flush_counter = obs::counter("dist/agg_flushes");
+  flush_counter.add();
+  static obs::Histogram& flush_hist = obs::histogram("dist/agg_flush");
+  obs::LatencyScope flush_latency(flush_hist);
   if (trace::enabled()) {
     trace::instant(
         "dist", "agg/flush",

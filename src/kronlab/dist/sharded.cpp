@@ -9,7 +9,9 @@
 
 #include "kronlab/common/error.hpp"
 #include "kronlab/grb/binary_io.hpp"
+#include "kronlab/obs/stats.hpp"
 #include "kronlab/obs/trace.hpp"
+#include "kronlab/obs/watchdog.hpp"
 #include "kronlab/grb/coo.hpp"
 #include "kronlab/kron/ground_truth.hpp"
 #include "kronlab/kron/stream.hpp"
@@ -189,6 +191,9 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
           ? trace::intern("rank=" + std::to_string(comm.rank()) +
                           " epoch=" + std::to_string(epoch))
           : nullptr);
+  static obs::Histogram& epoch_hist = obs::histogram("dist/exchange_epoch");
+  obs::LatencyScope epoch_latency(epoch_hist);
+  obs::StallGuard stall_guard("dist/exchange_epoch");
   std::unordered_map<index_t, std::vector<index_t>> ghost;
   Aggregator agg(comm, kExchTag, agg_opt);
   std::vector<PeerState> peers;
@@ -418,6 +423,9 @@ std::unordered_map<index_t, std::vector<index_t>> exchange_ghost_rows(
               " retries (rank " + std::to_string(comm.rank()) + ")");
         }
         ++stats.retries;
+        static obs::Counter& retry_counter =
+            obs::counter("dist/exchange_retries");
+        retry_counter.add();
         note_protocol("exchange/retry", comm.rank(), ps.rank, epoch,
                       ps.req_attempts);
         post_requests(ps); // only still-pending rows ride the retry

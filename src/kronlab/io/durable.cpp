@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include "kronlab/obs/stats.hpp"
 #include "kronlab/obs/trace.hpp"
+#include "kronlab/obs/watchdog.hpp"
 
 namespace kronlab::io {
 
@@ -56,6 +58,9 @@ std::string shard_prefix(index_t shard) {
 /// manifest use.
 void write_sealed(FileOps& ops, const std::string& dir,
                   const std::string& final_name, const std::string& bytes) {
+  static obs::Histogram& commit_hist = obs::histogram("io/segment_commit");
+  obs::LatencyScope commit_latency(commit_hist);
+  obs::StallGuard stall_guard("io/segment_commit");
   const std::string final_path = dir + "/" + final_name;
   const std::string tmp_path = final_path + ".tmp";
   {
@@ -285,6 +290,9 @@ ScanResult scan_store(FileOps& ops, const std::string& dir,
     std::uint64_t chain = kFnvBasis;
     count_t edges = 0;
     for (count_t g = 0; g < prog.segments; ++g) {
+      static obs::Histogram& validate_hist =
+          obs::histogram("io/segment_validate");
+      obs::LatencyScope validate_latency(validate_hist);
       const std::string path = dir + "/" + segment_name(s, g);
       const SegmentData seg = read_segment(ops, path);
       if (seg.header.spec_hash != expected.spec_hash ||

@@ -1,0 +1,95 @@
+// kronlab/obs/log.hpp
+//
+// Structured, leveled logging for operational events: one logfmt line
+// per event, machine-parseable and stable enough to grep in production:
+//
+//   ts=2026-08-09T12:34:56.789Z level=warn subsys=watchdog event=stall
+//       op=serve/request elapsed_ms=312 deadline_ms=100  (one line)
+//
+// This replaces ad-hoc fprintf(stderr, ...) in the daemon, the dist
+// runtime, and the durable-IO paths (the obs-log lint rule forbids new
+// ones).  Contract:
+//
+//  * Leveled: debug < info < warn < error < off.  The threshold comes
+//    from KRONLAB_LOG at startup (default info) or set_log_level().
+//    A filtered event costs one relaxed atomic load; fields appended to
+//    an inert event are not formatted.
+//  * Single-writer: lines are formatted privately and emitted whole
+//    under one mutex, so concurrent threads never interleave mid-line.
+//  * Redirectable: set_log_sink() captures lines in-process (tests
+//    assert on watchdog stall events this way); the default sink is
+//    stderr.
+//
+// Usage — the temporary's destructor emits:
+//
+//   obs::log(obs::LogLevel::info, "served", "drain_progress")
+//       .field("in_flight", n).field("elapsed_ms", ms);
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace kronlab::obs {
+
+enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Current threshold (events below it are dropped).
+[[nodiscard]] LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (as KRONLAB_LOG accepts).
+/// Returns false and leaves `out` untouched on unknown input.
+[[nodiscard]] bool parse_log_level(std::string_view text, LogLevel& out);
+
+/// Name as emitted in `level=` (and accepted by parse_log_level).
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+/// True when an event at `level` would be emitted — use to guard
+/// expensive field computation.
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+/// Redirect emitted lines (without trailing newline) to `sink`; pass an
+/// empty function to restore the default stderr sink.  Not for hot
+/// paths — takes the writer mutex.
+void set_log_sink(std::function<void(std::string_view line)> sink);
+
+/// One structured event, emitted on destruction.  Obtain via obs::log();
+/// append fields with .field(key, value).  Keys must be bare logfmt
+/// tokens (no spaces/quotes/'='); values are quoted as needed.
+class LogEvent {
+public:
+  ~LogEvent();
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& field(const char* key, std::string_view value);
+  LogEvent& field(const char* key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  LogEvent& field(const char* key, std::int64_t value);
+  LogEvent& field(const char* key, std::uint64_t value);
+  LogEvent& field(const char* key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  LogEvent& field(const char* key, double value);
+  LogEvent& field(const char* key, bool value) {
+    return field(key, value ? std::string_view("true")
+                            : std::string_view("false"));
+  }
+
+private:
+  friend LogEvent log(LogLevel level, const char* subsys, const char* event);
+  LogEvent(LogLevel level, const char* subsys, const char* event);
+
+  bool active_;      ///< false when filtered — every method is a no-op
+  std::string line_; ///< "ts=... level=... subsys=... event=..." so far
+};
+
+/// Start a structured event (inert if `level` is below the threshold).
+/// A bare call with no .field() chain emits just the envelope.
+LogEvent log(LogLevel level, const char* subsys, const char* event);
+
+} // namespace kronlab::obs

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "kronlab/obs/stats.hpp"
 #include "kronlab/obs/trace.hpp"
 
 namespace kronlab {
@@ -46,6 +47,11 @@ void ThreadPool::worker_loop(std::size_t id) {
       seen_epoch = epoch_;
       job = job_;
     }
+    // Live pool-utilization gauge: workers currently inside a job.  A
+    // toggle of stats_enabled mid-region can skew it by ±1 per worker
+    // until the next region — telemetry, not accounting.
+    static obs::Gauge& busy_gauge = obs::gauge("parallel/pool_busy");
+    busy_gauge.add(1);
     try {
       tl_in_parallel = true;
       (*job)(id);
@@ -55,6 +61,7 @@ void ThreadPool::worker_loop(std::size_t id) {
       MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    busy_gauge.add(-1);
     {
       MutexLock lock(mutex_);
       if (--remaining_ == 0) cv_done_.notify_one();
@@ -74,6 +81,8 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   // One fork/join at a time: a second external caller (another simulated
   // rank thread) waits here rather than clobbering job_/remaining_.
   MutexLock run_lock(run_mutex_);
+  static obs::Gauge& size_gauge = obs::gauge("parallel/pool_size");
+  size_gauge.set(static_cast<std::int64_t>(workers_.size() + 1));
   {
     MutexLock lock(mutex_);
     job_ = &fn;
@@ -83,6 +92,8 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   }
   cv_start_.notify_all();
   // The calling thread participates as worker 0.
+  static obs::Gauge& busy_gauge = obs::gauge("parallel/pool_busy");
+  busy_gauge.add(1);
   std::exception_ptr local_error;
   try {
     tl_in_parallel = true;
@@ -92,6 +103,7 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
     tl_in_parallel = false;
     local_error = std::current_exception();
   }
+  busy_gauge.add(-1);
   std::exception_ptr pool_error;
   {
     MutexLock lock(mutex_);

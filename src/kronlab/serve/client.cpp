@@ -93,4 +93,8 @@ StatsRecord Client::stats() {
   return decode_stats_record(call_one(Probe::stats()).words);
 }
 
+std::string Client::server_stats(StatsFormat format) {
+  return decode_stats_text(call_one(Probe::server_stats(format)).words);
+}
+
 } // namespace kronlab::serve

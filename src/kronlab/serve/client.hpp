@@ -51,6 +51,10 @@ public:
   [[nodiscard]] kron::VertexRecord sample_vertex(std::uint64_t seed);
   [[nodiscard]] kron::EdgeRecord sample_edge(std::uint64_t seed);
   [[nodiscard]] StatsRecord stats();
+  /// Live telemetry snapshot of the server (Op::server_stats): the
+  /// kronlab-stats-v1 JSON or Prometheus text, verbatim.
+  [[nodiscard]] std::string server_stats(
+      StatsFormat format = StatsFormat::json);
 
   /// Timeouts the retry loop absorbed (for fault-injection assertions).
   [[nodiscard]] std::uint64_t retries() const { return retries_; }

@@ -26,6 +26,7 @@ const char* op_name(Op op) {
     case Op::sample_vertex: return "sample_vertex";
     case Op::sample_edge: return "sample_edge";
     case Op::stats: return "stats";
+    case Op::server_stats: return "server_stats";
   }
   return "unknown";
 }
@@ -263,6 +264,48 @@ std::vector<std::pair<count_t, index_t>> decode_hist(
     pairs.emplace_back(degree, vertices);
   }
   return pairs;
+}
+
+std::vector<word_t> encode_stats_text(StatsFormat format,
+                                      std::string_view text) {
+  // 2 header words + the packed text must still seal into one frame.
+  if (text.size() > max_frame_bytes - 4 * sizeof(word_t)) {
+    throw protocol_error("kronlab serve: stats snapshot of " +
+                         std::to_string(text.size()) +
+                         " bytes exceeds the frame cap");
+  }
+  const std::size_t nwords = (text.size() + sizeof(word_t) - 1)
+                             / sizeof(word_t);
+  std::vector<word_t> out(2 + nwords, 0);
+  out[0] = static_cast<word_t>(format);
+  out[1] = static_cast<word_t>(text.size());
+  if (!text.empty()) std::memcpy(out.data() + 2, text.data(), text.size());
+  return out;
+}
+
+std::string decode_stats_text(const std::vector<word_t>& words) {
+  if (words.size() < 2) {
+    throw protocol_error("kronlab serve: server_stats result needs 2 header "
+                         "words, got " + std::to_string(words.size()));
+  }
+  const word_t len = words[1];
+  if (len < 0 || static_cast<std::size_t>(len) > max_frame_bytes) {
+    throw protocol_error("kronlab serve: implausible stats text length " +
+                         std::to_string(len));
+  }
+  const std::size_t nwords = (static_cast<std::size_t>(len) + sizeof(word_t)
+                              - 1) / sizeof(word_t);
+  // Trailing words beyond the text are ignored (versioning rule), but the
+  // text itself must be fully present.
+  if (words.size() < 2 + nwords) {
+    throw protocol_error("kronlab serve: stats text of " +
+                         std::to_string(len) + " bytes truncated at " +
+                         std::to_string((words.size() - 2) * sizeof(word_t)) +
+                         " bytes");
+  }
+  std::string text(static_cast<std::size_t>(len), '\0');
+  if (len > 0) std::memcpy(text.data(), words.data() + 2, text.size());
+  return text;
 }
 
 std::vector<std::uint8_t> seal_frame(const std::vector<word_t>& payload) {

@@ -38,6 +38,9 @@
 //   edge, sample_edge       p, q, degree_p, degree_q, squares, gamma_bits
 //   degree_hist             pair count, then (degree, vertex count) pairs
 //   stats                   num_vertices, num_edges, global_squares
+//   server_stats            format, byte length, then ceil(len/8) words of
+//                           UTF-8 text packed little-endian, zero-padded
+//                           (a live telemetry snapshot — see obs/stats)
 //
 // Versioning rule: the magic carries the protocol version ("KRNLSRV1").
 // Within a version, responses may only grow by appending words to a
@@ -51,6 +54,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "kronlab/common/error.hpp"
@@ -83,6 +87,13 @@ enum class Op : word_t {
   sample_vertex = 4, ///< args: seed         → vertex record, seeded draw
   sample_edge = 5,   ///< args: seed         → edge record, seeded draw
   stats = 6,         ///< args: none         → global statistics
+  server_stats = 7,  ///< args: format       → live telemetry snapshot (admin)
+};
+
+/// Snapshot formats accepted by Op::server_stats.
+enum class StatsFormat : word_t {
+  json = 0,       ///< kronlab-stats-v1 JSON object
+  prometheus = 1, ///< Prometheus text exposition format
 };
 
 /// Status codes, per result and per frame.  Append-only.
@@ -133,6 +144,9 @@ struct Probe {
     return {Op::sample_edge, {static_cast<word_t>(seed)}};
   }
   static Probe stats() { return {Op::stats, {}}; }
+  static Probe server_stats(StatsFormat format = StatsFormat::json) {
+    return {Op::server_stats, {static_cast<word_t>(format)}};
+  }
 };
 
 /// One result of a response frame.
@@ -189,6 +203,13 @@ struct StatsRecord {
     const std::vector<word_t>& words);
 [[nodiscard]] std::vector<std::pair<count_t, index_t>> decode_hist(
     const std::vector<word_t>& words);
+
+/// server_stats result words: format | byte length | packed UTF-8 text.
+/// encode_stats_text rejects text above max_frame_bytes; decode_stats_text
+/// validates the length against the word count before unpacking.
+[[nodiscard]] std::vector<word_t> encode_stats_text(StatsFormat format,
+                                                    std::string_view text);
+[[nodiscard]] std::string decode_stats_text(const std::vector<word_t>& words);
 
 // ---------------------------------------------------------------------------
 // Envelope: payload words <-> sealed byte frames.

@@ -45,6 +45,7 @@
 
 #include "kronlab/common/sync.hpp"
 #include "kronlab/kron/oracle.hpp"
+#include "kronlab/obs/stats.hpp"
 #include "kronlab/serve/lru.hpp"
 #include "kronlab/serve/protocol.hpp"
 #include "kronlab/serve/transport.hpp"
@@ -109,6 +110,12 @@ public:
 
   [[nodiscard]] ServerStats stats() const;
 
+  /// Live telemetry snapshot (what Op::server_stats answers): the
+  /// ServerStats counters plus queue depth, in-flight count, cache hit
+  /// rate, uptime, and the whole obs registry — per-verb latency
+  /// histograms included — as kronlab-stats-v1 JSON or Prometheus text.
+  [[nodiscard]] std::string stats_text(StatsFormat format);
+
   [[nodiscard]] const kron::GroundTruthOracle& oracle() const {
     return oracle_;
   }
@@ -172,6 +179,15 @@ private:
   std::atomic<std::uint64_t> malformed_{0};
   std::atomic<std::uint64_t> shed_shutdown_{0};
   std::array<std::atomic<std::uint64_t>, 8> probes_by_op_{};
+
+  // Registry metrics (pointers resolved once in the ctor; the registry
+  // owns them for the process lifetime).  request_hist_ is the whole
+  // decode+execute+respond frame; op_hist_[op] is one probe's execution,
+  // indexed like probes_by_op_.
+  obs::Histogram* request_hist_;
+  std::array<obs::Histogram*, 8> op_hist_{};
+  obs::Gauge* queue_depth_gauge_;
+  std::uint64_t start_ns_; ///< construction time, for uptime_seconds
 };
 
 } // namespace kronlab::serve

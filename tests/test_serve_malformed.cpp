@@ -141,6 +141,46 @@ TEST_F(ServeMalformedTest, CorruptPayloadByteIsDetected) {
   expect_status(*t, Status::malformed);
 }
 
+TEST_F(ServeMalformedTest, StatsFrameByteFlipRejectedThenAnswered) {
+  // The SERVER_STATS introspection frame gets no special-case framing:
+  // a flipped payload byte fails the checksum like any other request,
+  // and the same connection then serves the intact frame.
+  auto t = connect();
+  auto frame = seal_frame(
+      encode_request({11, {Probe::server_stats(StatsFormat::json)}}));
+  auto corrupt = frame;
+  corrupt[24] ^= 0x01; // flip a bit inside the probe words
+  t->write_all(corrupt.data(), corrupt.size());
+  expect_status(*t, Status::malformed);
+  t->write_all(frame.data(), frame.size());
+  const auto resp = read_frame(*t, std::chrono::milliseconds(5000));
+  ASSERT_TRUE(resp.has_value());
+  const Response r = decode_response(*resp);
+  EXPECT_EQ(r.status, Status::ok);
+  EXPECT_EQ(r.id, 11u);
+  ASSERT_EQ(r.results.size(), 1u);
+  const std::string text = decode_stats_text(r.results[0].words);
+  EXPECT_NE(text.find("kronlab-stats-v1"), std::string::npos);
+}
+
+TEST_F(ServeMalformedTest, StatsProbeBadFormatGetsTypedStatus) {
+  // An unknown snapshot format is a bad argument, not a protocol error:
+  // the frame is well-formed, so the probe gets a typed per-probe status
+  // and the connection lives on.
+  auto t = connect();
+  Probe p;
+  p.op = Op::server_stats;
+  p.args = {99}; // no such StatsFormat
+  const auto frame = seal_frame(encode_request({12, {p}}));
+  t->write_all(frame.data(), frame.size());
+  const auto resp = read_frame(*t, std::chrono::milliseconds(5000));
+  ASSERT_TRUE(resp.has_value());
+  const Response r = decode_response(*resp);
+  EXPECT_EQ(r.id, 12u);
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].status, Status::bad_probe);
+}
+
 TEST_F(ServeMalformedTest, ZeroLengthBodyIsMalformedNotFatal) {
   auto t = connect();
   // A syntactically sealed frame with an empty payload: the envelope is

@@ -147,6 +147,72 @@ TEST(ServeProtocol, GoldenStatsFrameBytes) {
   EXPECT_EQ(back.probes[0].op, Op::stats);
 }
 
+TEST(ServeProtocol, GoldenServerStatsFrameBytes) {
+  // The introspection probe's wire layout is part of the same
+  // compatibility contract as the stats frame above: one arg selecting
+  // the snapshot format.
+  const Request req{9, {Probe::server_stats(StatsFormat::json)}};
+  const auto frame = seal_frame(encode_request(req));
+  const std::uint8_t expected[] = {
+      0x4b, 0x52, 0x4e, 0x4c, 0x53, 0x52, 0x56, 0x31, // "KRNLSRV1"
+      0x28, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 40 payload bytes
+      0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // id = 9
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 1 probe
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // Op::server_stats
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 1 arg
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // StatsFormat::json
+      0x4b, 0x30, 0x86, 0x92, 0x91, 0xa8, 0x7a, 0x77, // fnv1a64
+  };
+  ASSERT_EQ(frame.size(), sizeof expected);
+  for (std::size_t i = 0; i < sizeof expected; ++i) {
+    EXPECT_EQ(frame[i], expected[i]) << "byte " << i;
+  }
+  const Request back = decode_request(unseal_frame(frame));
+  ASSERT_EQ(back.probes.size(), 1u);
+  EXPECT_EQ(back.probes[0].op, Op::server_stats);
+  ASSERT_EQ(back.probes[0].args.size(), 1u);
+  EXPECT_EQ(back.probes[0].args[0],
+            static_cast<word_t>(StatsFormat::json));
+}
+
+TEST(ServeProtocol, StatsTextRoundTripsUtf8) {
+  const std::string text =
+      "{\"schema\":\"kronlab-stats-v1\",\"uptime_seconds\":1.5}";
+  for (const auto format :
+       {StatsFormat::json, StatsFormat::prometheus}) {
+    const auto words = encode_stats_text(format, text);
+    ASSERT_GE(words.size(), 2u);
+    EXPECT_EQ(words[0], static_cast<word_t>(format));
+    EXPECT_EQ(words[1], static_cast<word_t>(text.size()));
+    EXPECT_EQ(decode_stats_text(words), text);
+  }
+  // Non-multiple-of-8 lengths exercise the zero-padded tail word.
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u}) {
+    const std::string t(len, 'x');
+    EXPECT_EQ(decode_stats_text(encode_stats_text(StatsFormat::json, t)),
+              t);
+  }
+}
+
+TEST(ServeProtocol, StatsTextDecodeIgnoresTrailingWords) {
+  auto words = encode_stats_text(StatsFormat::json, "{}");
+  words.push_back(12345); // future appended word
+  EXPECT_EQ(decode_stats_text(words), "{}");
+}
+
+TEST(ServeProtocol, StatsTextRejectsMalformedWords) {
+  EXPECT_THROW((void)decode_stats_text({}), protocol_error);
+  EXPECT_THROW((void)decode_stats_text({0}), protocol_error);
+  // Claimed length larger than the words actually carried.
+  EXPECT_THROW((void)decode_stats_text({0, 64, 0}), protocol_error);
+  // Negative length.
+  EXPECT_THROW((void)decode_stats_text({0, -1}), protocol_error);
+  // Oversized text refuses to encode (it could never frame).
+  const std::string huge(max_frame_bytes, 'x');
+  EXPECT_THROW((void)encode_stats_text(StatsFormat::json, huge),
+               protocol_error);
+}
+
 TEST(ServeProtocol, DoubleBitsAreLossless) {
   for (const double v : {0.0, 1.0, -1.0, 0.6, 1e-300, 1e300, 1.0 / 3.0}) {
     EXPECT_EQ(bits_double(double_bits(v)), v);

@@ -38,6 +38,9 @@ struct Options {
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
+  // Usage text is CLI output for the invoking human, not an operational
+  // event — it stays printf-family by design.
+  // kronlab-lint: allow(obs-log)
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: %s --left SPEC --right SPEC [--mode i|ii|raw]\n"
                "          [--expect-global N] [--check-truth FILE]\n"
@@ -47,14 +50,39 @@ struct Options {
   std::exit(code);
 }
 
+/// CLI argument diagnostics go straight to the terminal, then the usage
+/// text and exit code 2.
+[[noreturn]] void die_usage(const char* argv0, const std::string& msg) {
+  // kronlab-lint: allow(obs-log)
+  std::fprintf(stderr, "kronlab_check: %s\n", msg.c_str());
+  usage(argv0, 2);
+}
+
+/// Runtime-failure funnel: message to the terminal, then exit.
+/// Exit codes: 0 = all checks passed, 2 = usage / bad spec, 3 = io,
+/// 4 = validation mismatch, 1 = anything else.
+[[noreturn]] void die(int code, const std::string& msg) {
+  // kronlab-lint: allow(obs-log)
+  std::fprintf(stderr, "kronlab_check: %s\n", msg.c_str());
+  std::exit(code);
+}
+
+/// Per-finding diagnostics (WRONG/EXTRA/MISSING lines) are the checker's
+/// primary human-facing output — verbatim stderr, not logfmt.
+void note(const std::string& msg) {
+  // kronlab-lint: allow(obs-log)
+  std::fprintf(stderr, "%s\n", msg.c_str());
+}
+
+std::string num(long long v) { return std::to_string(v); }
+
 Options parse_args(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto need_value = [&](const char* flag) -> std::string {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", flag);
-        usage(argv[0], 2);
+        die_usage(argv[0], std::string(flag) + " requires a value");
       }
       return argv[++i];
     };
@@ -78,13 +106,11 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      usage(argv[0], 2);
+      die_usage(argv[0], "unknown argument: " + arg);
     }
   }
   if (opt.left.empty() || opt.right.empty()) {
-    std::fprintf(stderr, "--left and --right are required\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "--left and --right are required");
   }
   return opt;
 }
@@ -101,7 +127,7 @@ bool check_truth_file(const kron::GroundTruthOracle& oracle,
     index_t p, q;
     count_t claimed;
     if (!(ls >> p >> q >> claimed)) {
-      std::fprintf(stderr, "  malformed truth line: %s\n", line.c_str());
+      note("  malformed truth line: " + line);
       ++bad;
       continue;
     }
@@ -109,8 +135,7 @@ bool check_truth_file(const kron::GroundTruthOracle& oracle,
     if (p < 1 || q < 1 || p > oracle.num_vertices() ||
         q > oracle.num_vertices()) {
       if (bad < 5) {
-        std::fprintf(stderr, "  WRONG: (%lld,%lld) out of range\n",
-                     static_cast<long long>(p), static_cast<long long>(q));
+        note("  WRONG: (" + num(p) + "," + num(q) + ") out of range");
       }
       ++bad;
       continue;
@@ -119,18 +144,14 @@ bool check_truth_file(const kron::GroundTruthOracle& oracle,
       const auto record = oracle.edge(p - 1, q - 1);
       if (record.squares != claimed) {
         if (bad < 5) {
-          std::fprintf(
-              stderr, "  WRONG: edge (%lld,%lld) claimed %lld exact %lld\n",
-              static_cast<long long>(p), static_cast<long long>(q),
-              static_cast<long long>(claimed),
-              static_cast<long long>(record.squares));
+          note("  WRONG: edge (" + num(p) + "," + num(q) + ") claimed " +
+               num(claimed) + " exact " + num(record.squares));
         }
         ++bad;
       }
     } catch (const invalid_argument&) {
       if (bad < 5) {
-        std::fprintf(stderr, "  WRONG: (%lld,%lld) is not an edge\n",
-                     static_cast<long long>(p), static_cast<long long>(q));
+        note("  WRONG: (" + num(p) + "," + num(q) + ") is not an edge");
       }
       ++bad;
     }
@@ -159,7 +180,7 @@ bool check_edges_file(const kron::BipartiteKronecker& kp,
     std::istringstream ls(line);
     index_t p, q;
     if (!(ls >> p >> q)) {
-      std::fprintf(stderr, "  malformed edge line: %s\n", line.c_str());
+      note("  malformed edge line: " + line);
       ++extra;
       continue;
     }
@@ -167,9 +188,7 @@ bool check_edges_file(const kron::BipartiteKronecker& kp,
     --q;
     if (!kp.has_edge(p, q)) {
       if (extra < 5) {
-        std::fprintf(stderr, "  EXTRA edge (%lld,%lld)\n",
-                     static_cast<long long>(p + 1),
-                     static_cast<long long>(q + 1));
+        note("  EXTRA edge (" + num(p + 1) + "," + num(q + 1) + ")");
       }
       ++extra;
       continue;
@@ -180,9 +199,7 @@ bool check_edges_file(const kron::BipartiteKronecker& kp,
   kron::EdgeStream(kp).for_each_edge([&](index_t p, index_t q) {
     if (!seen.count(key(p, q))) {
       if (missing < 5) {
-        std::fprintf(stderr, "  MISSING edge (%lld,%lld)\n",
-                     static_cast<long long>(p + 1),
-                     static_cast<long long>(q + 1));
+        note("  MISSING edge (" + num(p + 1) + "," + num(q + 1) + ")");
       }
       ++missing;
     }
@@ -248,16 +265,12 @@ int main(int argc, char** argv) {
     // 4 = validation mismatch, 1 = anything else.
     return ok ? 0 : 4;
   } catch (const io_error& e) {
-    std::fprintf(stderr, "kronlab_check: io error: %s\n", e.what());
-    return 3;
+    die(3, std::string("io error: ") + e.what());
   } catch (const invalid_argument& e) {
-    std::fprintf(stderr, "kronlab_check: %s\n", e.what());
-    return 2;
+    die(2, e.what());
   } catch (const error& e) {
-    std::fprintf(stderr, "kronlab_check: %s\n", e.what());
-    return 1;
+    die(1, e.what());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "kronlab_check: unexpected error: %s\n", e.what());
-    return 1;
+    die(1, std::string("unexpected error: ") + e.what());
   }
 }

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "kronlab/kronlab.hpp"
+#include "kronlab/obs/log.hpp"
 
 using namespace kronlab;
 
@@ -49,6 +50,9 @@ struct Options {
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
+  // Usage text is CLI output for the invoking human, not an operational
+  // event — it stays printf-family by design.
+  // kronlab-lint: allow(obs-log)
   std::fprintf(
       code == 0 ? stdout : stderr,
       "usage: %s --left SPEC --right SPEC [--mode i|ii|raw]\n"
@@ -74,14 +78,31 @@ struct Options {
   std::exit(code);
 }
 
+/// CLI argument diagnostics go straight to the terminal, then the usage
+/// text and exit code 2.
+[[noreturn]] void die_usage(const char* argv0, const std::string& msg) {
+  // kronlab-lint: allow(obs-log)
+  std::fprintf(stderr, "kronlab_gen: %s\n", msg.c_str());
+  usage(argv0, 2);
+}
+
+/// Runtime-failure funnel: message to the terminal, then exit.
+/// Exit codes: 2 = usage / bad spec, 3 = io, 4 = validation failure,
+/// 1 = anything else.  Scripts branching on the generator's outcome
+/// depend on these staying distinct.
+[[noreturn]] void die(int code, const std::string& msg) {
+  // kronlab-lint: allow(obs-log)
+  std::fprintf(stderr, "kronlab_gen: %s\n", msg.c_str());
+  std::exit(code);
+}
+
 Options parse_args(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto need_value = [&](const char* flag) -> std::string {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", flag);
-        usage(argv[0], 2);
+        die_usage(argv[0], std::string(flag) + " requires a value");
       }
       return argv[++i];
     };
@@ -98,8 +119,7 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--shards") {
       opt.shards = std::strtoll(need_value("--shards").c_str(), nullptr, 10);
       if (opt.shards < 1) {
-        std::fprintf(stderr, "--shards requires a positive integer\n");
-        usage(argv[0], 2);
+        die_usage(argv[0], "--shards requires a positive integer");
       }
     } else if (arg == "--summary") {
       opt.summary = true;
@@ -115,43 +135,35 @@ Options parse_args(int argc, char** argv) {
       opt.scale = static_cast<int>(
           std::strtoll(need_value("--scale").c_str(), nullptr, 10));
       if (opt.scale < 1) {
-        std::fprintf(stderr, "--scale requires a positive integer\n");
-        usage(argv[0], 2);
+        die_usage(argv[0], "--scale requires a positive integer");
       }
     } else if (arg == "--segment-edges") {
       opt.segment_edges =
           std::strtoll(need_value("--segment-edges").c_str(), nullptr, 10);
       if (opt.segment_edges < 1) {
-        std::fprintf(stderr, "--segment-edges requires a positive integer\n");
-        usage(argv[0], 2);
+        die_usage(argv[0], "--segment-edges requires a positive integer");
       }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      usage(argv[0], 2);
+      die_usage(argv[0], "unknown argument: " + arg);
     }
   }
   if (opt.left.empty() || opt.right.empty()) {
-    std::fprintf(stderr, "--left and --right are required\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "--left and --right are required");
   }
   if (opt.mode != "i" && opt.mode != "ii" && opt.mode != "raw") {
-    std::fprintf(stderr, "--mode must be i, ii, or raw\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "--mode must be i, ii, or raw");
   }
   if ((opt.resume || opt.verify) && opt.out_dir.empty()) {
-    std::fprintf(stderr, "--resume/--verify require --out DIR\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "--resume/--verify require --out DIR");
   }
   if (opt.resume && opt.verify) {
-    std::fprintf(stderr, "--resume and --verify are mutually exclusive\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "--resume and --verify are mutually exclusive");
   }
   if (opt.scale > 1 && opt.mode != "raw") {
-    std::fprintf(stderr, "--scale > 1 requires --mode raw (the collapsed "
-                         "chain is not a validated Assumption 1 pair)\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "--scale > 1 requires --mode raw (the collapsed "
+                       "chain is not a validated Assumption 1 pair)");
   }
   if (!opt.summary && opt.edges_path.empty() && opt.truth_path.empty() &&
       opt.out_dir.empty()) {
@@ -230,31 +242,35 @@ int main(int argc, char** argv) {
       if (opt.verify) {
         Timer t;
         const auto rep = io::verify_store(io::real_file_ops(), kp, so);
-        std::fprintf(stderr,
-                     "verified %s: %lld segments, %lld edges "
-                     "(%lld rows + %lld edges oracle-checked) in %s\n",
-                     opt.out_dir.c_str(),
-                     static_cast<long long>(rep.segments),
-                     static_cast<long long>(rep.edges),
-                     static_cast<long long>(rep.rows_checked),
-                     static_cast<long long>(rep.edges_checked),
-                     format_duration(t.seconds()).c_str());
+        obs::log(obs::LogLevel::info, "gen", "verified")
+            .field("dir", opt.out_dir)
+            .field("segments", static_cast<std::int64_t>(rep.segments))
+            .field("edges", static_cast<std::int64_t>(rep.edges))
+            .field("rows_checked",
+                   static_cast<std::int64_t>(rep.rows_checked))
+            .field("edges_checked",
+                   static_cast<std::int64_t>(rep.edges_checked))
+            .field("elapsed", format_duration(t.seconds()));
       } else {
         Timer t;
         const auto rep = io::generate_durable(io::real_file_ops(), kp, so);
-        std::fprintf(stderr,
-                     "wrote %s: %lld edges sealed in %lld segments "
-                     "(+%lld resumed, %lld adopted, %lld discarded; "
-                     "%lld rows + %lld edges oracle-checked) in %s\n",
-                     opt.out_dir.c_str(),
-                     static_cast<long long>(rep.edges_written),
-                     static_cast<long long>(rep.segments_sealed),
-                     static_cast<long long>(rep.edges_resumed),
-                     static_cast<long long>(rep.adopted_segments),
-                     static_cast<long long>(rep.discarded_files),
-                     static_cast<long long>(rep.rows_checked),
-                     static_cast<long long>(rep.edges_checked),
-                     format_duration(t.seconds()).c_str());
+        obs::log(obs::LogLevel::info, "gen", "wrote_store")
+            .field("dir", opt.out_dir)
+            .field("edges_written",
+                   static_cast<std::int64_t>(rep.edges_written))
+            .field("segments_sealed",
+                   static_cast<std::int64_t>(rep.segments_sealed))
+            .field("edges_resumed",
+                   static_cast<std::int64_t>(rep.edges_resumed))
+            .field("adopted_segments",
+                   static_cast<std::int64_t>(rep.adopted_segments))
+            .field("discarded_files",
+                   static_cast<std::int64_t>(rep.discarded_files))
+            .field("rows_checked",
+                   static_cast<std::int64_t>(rep.rows_checked))
+            .field("edges_checked",
+                   static_cast<std::int64_t>(rep.edges_checked))
+            .field("elapsed", format_duration(t.seconds()));
       }
     }
 
@@ -267,14 +283,17 @@ int main(int argc, char** argv) {
           std::ofstream out(path);
           if (!out) throw io_error("cannot write " + path);
           ps.write_shard(r, out);
-          std::fprintf(stderr, "wrote %s (%lld entries)\n", path.c_str(),
-                       static_cast<long long>(ps.entries_of(r)));
+          obs::log(obs::LogLevel::info, "gen", "wrote_shard")
+              .field("path", path)
+              .field("entries",
+                     static_cast<std::int64_t>(ps.entries_of(r)));
         }
       } else {
         std::ofstream out(opt.edges_path);
         if (!out) throw io_error("cannot write " + opt.edges_path);
         kron::EdgeStream(kp).write_edge_list(out);
-        std::fprintf(stderr, "wrote %s\n", opt.edges_path.c_str());
+        obs::log(obs::LogLevel::info, "gen", "wrote_edges")
+            .field("path", opt.edges_path);
       }
     }
 
@@ -286,26 +305,19 @@ int main(int argc, char** argv) {
       stream.for_each_entry([&](index_t p, index_t q, count_t sq) {
         if (p < q) out << (p + 1) << ' ' << (q + 1) << ' ' << sq << '\n';
       });
-      std::fprintf(stderr, "wrote %s\n", opt.truth_path.c_str());
+      obs::log(obs::LogLevel::info, "gen", "wrote_truth")
+          .field("path", opt.truth_path);
     }
     return 0;
   } catch (const io_error& e) {
-    // Exit codes: 2 = usage / bad spec, 3 = io, 4 = validation failure,
-    // 1 = anything else.  Scripts branching on the generator's outcome
-    // depend on these staying distinct.
-    std::fprintf(stderr, "kronlab_gen: io error: %s\n", e.what());
-    return 3;
+    die(3, std::string("io error: ") + e.what());
   } catch (const domain_error& e) {
-    std::fprintf(stderr, "kronlab_gen: validation failed: %s\n", e.what());
-    return 4;
+    die(4, std::string("validation failed: ") + e.what());
   } catch (const invalid_argument& e) {
-    std::fprintf(stderr, "kronlab_gen: %s\n", e.what());
-    return 2;
+    die(2, e.what());
   } catch (const error& e) {
-    std::fprintf(stderr, "kronlab_gen: %s\n", e.what());
-    return 1;
+    die(1, e.what());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "kronlab_gen: unexpected error: %s\n", e.what());
-    return 1;
+    die(1, std::string("unexpected error: ") + e.what());
   }
 }

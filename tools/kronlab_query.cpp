@@ -10,6 +10,8 @@
 //   kronlab_query --unix /tmp/kronlab.sock edge 3 1290
 //   kronlab_query --tcp 40123 hist 1 64
 //   kronlab_query --tcp 40123 sample-edge 42
+//   kronlab_query --tcp 40123 --stats          # live telemetry JSON
+//   kronlab_query --tcp 40123 server-stats prom
 //
 // Exit codes: 0 = answered (including "not an edge"), 2 = usage,
 // 3 = io / timeout, 1 = anything else.
@@ -33,6 +35,9 @@ struct Options {
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
+  // Usage text is CLI output for the invoking human, not an operational
+  // event — it stays printf-family by design.
+  // kronlab-lint: allow(obs-log)
   std::fprintf(
       code == 0 ? stdout : stderr,
       "usage: %s (--tcp PORT | --unix PATH) [--timeout MS] [--attempts N]\n"
@@ -43,8 +48,27 @@ struct Options {
       "  hist LO HI       degree histogram restricted to LO <= d <= HI\n"
       "  sample-vertex S  uniform vertex probe, seeded by S\n"
       "  sample-edge S    uniform edge probe, seeded by S\n"
-      "  stats            global statistics\n",
+      "  stats            global graph statistics\n"
+      "  server-stats [json|prom]  live server telemetry snapshot\n"
+      "                   (per-verb latency histograms, queue depth,\n"
+      "                   cache hit rate); --stats is shorthand for\n"
+      "                   'server-stats json'\n",
       argv0);
+  std::exit(code);
+}
+
+/// One-shot CLI: diagnostics go straight to the invoking terminal, then
+/// the usage text and exit code 2.
+[[noreturn]] void die_usage(const char* argv0, const std::string& msg) {
+  // kronlab-lint: allow(obs-log)
+  std::fprintf(stderr, "kronlab_query: %s\n", msg.c_str());
+  usage(argv0, 2);
+}
+
+/// Runtime-failure funnel (timeouts, io errors): message, then exit.
+[[noreturn]] void die(int code, const std::string& msg) {
+  // kronlab-lint: allow(obs-log)
+  std::fprintf(stderr, "kronlab_query: %s\n", msg.c_str());
   std::exit(code);
 }
 
@@ -55,8 +79,7 @@ Options parse_args(int argc, char** argv) {
     const std::string arg = argv[i];
     const auto need_value = [&](const char* flag) -> std::string {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", flag);
-        usage(argv[0], 2);
+        die_usage(argv[0], std::string(flag) + " requires a value");
       }
       return argv[++i];
     };
@@ -71,24 +94,26 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--attempts") {
       opt.retry.attempts = static_cast<int>(
           std::strtoll(need_value("--attempts").c_str(), nullptr, 10));
+    } else if (arg == "--stats") {
+      opt.command = {"server-stats", "json"};
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else {
       break; // first non-flag word starts the command
     }
   }
+  if (i < argc && !opt.command.empty()) {
+    die_usage(argv[0], "--stats cannot be combined with a command");
+  }
   for (; i < argc; ++i) opt.command.emplace_back(argv[i]);
   if ((opt.tcp_port < 0) == opt.unix_path.empty()) {
-    std::fprintf(stderr, "exactly one of --tcp / --unix is required\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "exactly one of --tcp / --unix is required");
   }
   if (opt.retry.attempts < 1) {
-    std::fprintf(stderr, "--attempts requires at least 1\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "--attempts requires at least 1");
   }
   if (opt.command.empty()) {
-    std::fprintf(stderr, "a command is required\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "a command is required");
   }
   return opt;
 }
@@ -98,19 +123,17 @@ serve::word_t parse_word(const std::string& s, const char* what,
   char* end = nullptr;
   const long long v = std::strtoll(s.c_str(), &end, 10);
   if (end == s.c_str() || *end != '\0') {
-    std::fprintf(stderr, "%s must be an integer, got '%s'\n", what,
-                 s.c_str());
-    usage(argv[0], 2);
+    die_usage(argv[0], std::string(what) + " must be an integer, got '" +
+                           s + "'");
   }
   return v;
 }
 
 void expect_args(const Options& opt, std::size_t n, char** argv) {
   if (opt.command.size() != n + 1) {
-    std::fprintf(stderr, "command '%s' takes %d argument%s\n",
-                 opt.command[0].c_str(), static_cast<int>(n),
-                 n == 1 ? "" : "s");
-    usage(argv[0], 2);
+    die_usage(argv[0], "command '" + opt.command[0] + "' takes " +
+                           std::to_string(n) + " argument" +
+                           (n == 1 ? "" : "s"));
   }
 }
 
@@ -180,22 +203,30 @@ int main(int argc, char** argv) {
                   static_cast<long long>(s.num_vertices),
                   static_cast<long long>(s.num_edges),
                   static_cast<long long>(s.global_squares));
+    } else if (cmd == "server-stats") {
+      if (opt.command.size() > 2) expect_args(opt, 1, argv);
+      auto format = serve::StatsFormat::json;
+      if (opt.command.size() == 2) {
+        if (opt.command[1] == "prom" || opt.command[1] == "prometheus") {
+          format = serve::StatsFormat::prometheus;
+        } else if (opt.command[1] != "json") {
+          die_usage(argv[0], "server-stats format must be json or prom");
+        }
+      }
+      const std::string text = client.server_stats(format);
+      std::fwrite(text.data(), 1, text.size(), stdout);
+      if (text.empty() || text.back() != '\n') std::printf("\n");
     } else {
-      std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-      usage(argv[0], 2);
+      die_usage(argv[0], "unknown command: " + cmd);
     }
     return 0;
   } catch (const timeout_error& e) {
-    std::fprintf(stderr, "kronlab_query: timeout: %s\n", e.what());
-    return 3;
+    die(3, std::string("timeout: ") + e.what());
   } catch (const io_error& e) {
-    std::fprintf(stderr, "kronlab_query: io error: %s\n", e.what());
-    return 3;
+    die(3, std::string("io error: ") + e.what());
   } catch (const invalid_argument& e) {
-    std::fprintf(stderr, "kronlab_query: %s\n", e.what());
-    return 2;
+    die(2, e.what());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "kronlab_query: unexpected error: %s\n", e.what());
-    return 1;
+    die(1, std::string("unexpected error: ") + e.what());
   }
 }

@@ -3,8 +3,13 @@
 // Loads a BipartiteKronecker spec (same factor SPEC grammar as
 // kronlab_gen) and answers serve/ protocol probes over TCP or a
 // Unix-domain socket until SIGTERM/SIGINT, then drains gracefully:
-// every admitted request is answered before the process exits, and the
-// final stats summary goes to stderr.
+// every admitted request is answered before the process exits.
+//
+// Operational events (startup, drain progress, the final stats summary,
+// watchdog stall warnings) are structured obs/log lines on stderr,
+// leveled via KRONLAB_LOG or --log.  Live telemetry is served in-band:
+// `kronlab_query --stats` issues the protocol's SERVER_STATS probe and
+// prints the kronlab-stats-v1 snapshot.
 //
 // Examples:
 //   kronlab_served --left tritail:1 --right kbip:3,4 --tcp 0
@@ -18,12 +23,18 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "kronlab/kronlab.hpp"
+#include "kronlab/obs/log.hpp"
+#include "kronlab/obs/stats.hpp"
+#include "kronlab/obs/watchdog.hpp"
 
 using namespace kronlab;
 
@@ -35,28 +46,49 @@ struct Options {
   int tcp_port = -1; ///< >= 0: serve TCP (0 = ephemeral)
   std::string unix_path;
   serve::ServerOptions server;
+  /// Stall-watchdog deadline; 0 disables the watchdog thread.
+  std::size_t watchdog_ms = 1000;
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
+  // Usage text is CLI output for the invoking human, not an operational
+  // event — it stays printf-family by design.
+  // kronlab-lint: allow(obs-log)
   std::fprintf(
       code == 0 ? stdout : stderr,
       "usage: %s --left SPEC --right SPEC [--mode i|ii|raw]\n"
       "          (--tcp PORT | --unix PATH)\n"
-      "          [--executors N] [--queue-depth N] [--cache N]\n\n"
+      "          [--executors N] [--queue-depth N] [--cache N]\n"
+      "          [--watchdog-ms N] [--log LEVEL]\n\n"
       "factor SPEC forms:\n%s\n\n"
       "--tcp PORT     listen on 127.0.0.1:PORT (0 = ephemeral; the bound\n"
       "               port is printed to stdout as 'port NNNN')\n"
       "--unix PATH    listen on a Unix-domain socket at PATH\n"
       "--executors N  request-executor threads (default %d)\n"
       "--queue-depth N  admitted-frame queue bound (default %d)\n"
-      "--cache N      vertex-record LRU entries, 0 disables (default %d)\n\n"
-      "SIGTERM/SIGINT drain gracefully: admitted requests are answered,\n"
-      "then a stats summary is written to stderr.\n",
+      "--cache N      vertex-record LRU entries, 0 disables (default %d)\n"
+      "--watchdog-ms N  stall-watchdog deadline in ms, 0 disables\n"
+      "               (default 1000) — a request/exchange/commit stuck\n"
+      "               longer than this logs a structured warning\n"
+      "--log LEVEL    debug|info|warn|error|off (default info, or\n"
+      "               KRONLAB_LOG)\n\n"
+      "SIGTERM/SIGINT drain gracefully: admitted requests are answered\n"
+      "and drain progress + a final summary are logged to stderr.\n"
+      "Live stats: kronlab_query ... --stats (KRONLAB_STATS=0 disables\n"
+      "histogram recording).\n",
       argv0, gen::graph_spec_help().c_str(),
       static_cast<int>(serve::ServerOptions{}.executors),
       static_cast<int>(serve::ServerOptions{}.queue_depth),
       static_cast<int>(serve::ServerOptions{}.cache_capacity));
   std::exit(code);
+}
+
+/// CLI argument diagnostics go straight to the terminal (the logger may
+/// be filtered off) and exit with the usage code.
+[[noreturn]] void die_usage(const char* argv0, const std::string& msg) {
+  // kronlab-lint: allow(obs-log)
+  std::fprintf(stderr, "kronlab_served: %s\n", msg.c_str());
+  usage(argv0, 2);
 }
 
 Options parse_args(int argc, char** argv) {
@@ -65,8 +97,7 @@ Options parse_args(int argc, char** argv) {
     const std::string arg = argv[i];
     const auto need_value = [&](const char* flag) -> std::string {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", flag);
-        usage(argv[0], 2);
+        die_usage(argv[0], std::string(flag) + " requires a value");
       }
       return argv[++i];
     };
@@ -74,8 +105,8 @@ Options parse_args(int argc, char** argv) {
       const long long v =
           std::strtoll(need_value(flag).c_str(), nullptr, 10);
       if (v < 0) {
-        std::fprintf(stderr, "%s requires a non-negative integer\n", flag);
-        usage(argv[0], 2);
+        die_usage(argv[0],
+                  std::string(flag) + " requires a non-negative integer");
       }
       return static_cast<std::size_t>(v);
     };
@@ -90,43 +121,44 @@ Options parse_args(int argc, char** argv) {
           static_cast<int>(std::strtoll(need_value("--tcp").c_str(),
                                         nullptr, 10));
       if (opt.tcp_port < 0 || opt.tcp_port > 65535) {
-        std::fprintf(stderr, "--tcp requires a port in [0, 65535]\n");
-        usage(argv[0], 2);
+        die_usage(argv[0], "--tcp requires a port in [0, 65535]");
       }
     } else if (arg == "--unix") {
       opt.unix_path = need_value("--unix");
     } else if (arg == "--executors") {
       opt.server.executors = need_size("--executors");
       if (opt.server.executors == 0) {
-        std::fprintf(stderr, "--executors requires at least 1\n");
-        usage(argv[0], 2);
+        die_usage(argv[0], "--executors requires at least 1");
       }
     } else if (arg == "--queue-depth") {
       opt.server.queue_depth = need_size("--queue-depth");
       if (opt.server.queue_depth == 0) {
-        std::fprintf(stderr, "--queue-depth requires at least 1\n");
-        usage(argv[0], 2);
+        die_usage(argv[0], "--queue-depth requires at least 1");
       }
     } else if (arg == "--cache") {
       opt.server.cache_capacity = need_size("--cache");
+    } else if (arg == "--watchdog-ms") {
+      opt.watchdog_ms = need_size("--watchdog-ms");
+    } else if (arg == "--log") {
+      obs::LogLevel level{};
+      if (!obs::parse_log_level(need_value("--log"), level)) {
+        die_usage(argv[0], "--log must be debug|info|warn|error|off");
+      }
+      obs::set_log_level(level);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      usage(argv[0], 2);
+      die_usage(argv[0], "unknown argument: " + arg);
     }
   }
   if (opt.left.empty() || opt.right.empty()) {
-    std::fprintf(stderr, "--left and --right are required\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "--left and --right are required");
   }
   if (opt.mode != "i" && opt.mode != "ii" && opt.mode != "raw") {
-    std::fprintf(stderr, "--mode must be i, ii, or raw\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "--mode must be i, ii, or raw");
   }
   if ((opt.tcp_port < 0) == opt.unix_path.empty()) {
-    std::fprintf(stderr, "exactly one of --tcp / --unix is required\n");
-    usage(argv[0], 2);
+    die_usage(argv[0], "exactly one of --tcp / --unix is required");
   }
   return opt;
 }
@@ -142,27 +174,18 @@ void on_signal(int) {
   [[maybe_unused]] const auto rc = write(g_shutdown_pipe[1], &byte, 1);
 }
 
-void print_stats(const serve::ServerStats& s) {
-  std::fprintf(stderr,
-               "kronlab_served: connections %llu accepted, %llu rejected\n",
-               static_cast<unsigned long long>(s.connections_accepted),
-               static_cast<unsigned long long>(s.connections_rejected));
-  std::fprintf(
-      stderr,
-      "kronlab_served: %llu frames, %llu probes, %llu responses\n",
-      static_cast<unsigned long long>(s.frames),
-      static_cast<unsigned long long>(s.probes),
-      static_cast<unsigned long long>(s.responses));
-  std::fprintf(
-      stderr,
-      "kronlab_served: %llu overloaded, %llu malformed, %llu shed at "
-      "shutdown\n",
-      static_cast<unsigned long long>(s.overloaded),
-      static_cast<unsigned long long>(s.malformed),
-      static_cast<unsigned long long>(s.shed_shutdown));
-  std::fprintf(stderr, "kronlab_served: cache %llu hits / %llu misses\n",
-               static_cast<unsigned long long>(s.cache_hits),
-               static_cast<unsigned long long>(s.cache_misses));
+void log_summary(const serve::ServerStats& s) {
+  obs::log(obs::LogLevel::info, "served", "summary")
+      .field("connections_accepted", s.connections_accepted)
+      .field("connections_rejected", s.connections_rejected)
+      .field("frames", s.frames)
+      .field("probes", s.probes)
+      .field("responses", s.responses)
+      .field("overloaded", s.overloaded)
+      .field("malformed", s.malformed)
+      .field("shed_shutdown", s.shed_shutdown)
+      .field("cache_hits", s.cache_hits)
+      .field("cache_misses", s.cache_misses);
 }
 
 } // namespace
@@ -191,6 +214,13 @@ int main(int argc, char** argv) {
     sigaction(SIGINT, &sa, nullptr);
 
     serve::Server server(kp, opt.server);
+    if (opt.watchdog_ms > 0) {
+      obs::WatchdogOptions wd;
+      wd.deadline = std::chrono::milliseconds(opt.watchdog_ms);
+      wd.poll = std::chrono::milliseconds(
+          std::max<std::size_t>(10, opt.watchdog_ms / 4));
+      obs::watchdog_start(wd);
+    }
     auto listener = opt.unix_path.empty()
                         ? serve::listen_tcp(opt.tcp_port)
                         : serve::listen_unix(opt.unix_path);
@@ -201,12 +231,15 @@ int main(int argc, char** argv) {
       std::printf("unix %s\n", opt.unix_path.c_str());
     }
     std::fflush(stdout);
-    std::fprintf(stderr,
-                 "kronlab_served: serving %s (x) %s [mode %s], "
-                 "%lld vertices, %lld edges\n",
-                 opt.left.c_str(), opt.right.c_str(), opt.mode.c_str(),
-                 static_cast<long long>(kp.num_vertices()),
-                 static_cast<long long>(kp.num_edges()));
+    obs::log(obs::LogLevel::info, "served", "serving")
+        .field("left", opt.left)
+        .field("right", opt.right)
+        .field("mode", opt.mode)
+        .field("vertices", static_cast<std::int64_t>(kp.num_vertices()))
+        .field("edges", static_cast<std::int64_t>(kp.num_edges()))
+        .field("executors", static_cast<std::int64_t>(opt.server.executors))
+        .field("stats_enabled", obs::stats_enabled())
+        .field("watchdog_ms", static_cast<std::int64_t>(opt.watchdog_ms));
     server.start(std::move(listener));
 
     // Block until a signal's byte arrives (EINTR restarts the read).
@@ -214,28 +247,38 @@ int main(int argc, char** argv) {
     while (read(g_shutdown_pipe[0], &byte, 1) < 0) {
       if (errno != EINTR) break;
     }
-    std::fprintf(stderr, "kronlab_served: draining...\n");
+    obs::log(obs::LogLevel::info, "served", "drain_begin")
+        .field("in_flight", server.in_flight());
     server.stop();
-    print_stats(server.stats());
-    std::fprintf(stderr, "kronlab_served: drained, %llu in flight\n",
-                 static_cast<unsigned long long>(server.in_flight()));
+    log_summary(server.stats());
+    obs::log(obs::LogLevel::info, "served", "drained")
+        .field("in_flight", server.in_flight());
+    obs::watchdog_stop();
     return 0;
   } catch (const io_error& e) {
-    std::fprintf(stderr, "kronlab_served: io error: %s\n", e.what());
+    obs::log(obs::LogLevel::error, "served", "fatal")
+        .field("kind", "io")
+        .field("what", e.what());
     return 3;
   } catch (const domain_error& e) {
-    std::fprintf(stderr, "kronlab_served: validation failed: %s\n",
-                 e.what());
+    obs::log(obs::LogLevel::error, "served", "fatal")
+        .field("kind", "validation")
+        .field("what", e.what());
     return 4;
   } catch (const invalid_argument& e) {
-    std::fprintf(stderr, "kronlab_served: %s\n", e.what());
+    obs::log(obs::LogLevel::error, "served", "fatal")
+        .field("kind", "usage")
+        .field("what", e.what());
     return 2;
   } catch (const error& e) {
-    std::fprintf(stderr, "kronlab_served: %s\n", e.what());
+    obs::log(obs::LogLevel::error, "served", "fatal")
+        .field("kind", "error")
+        .field("what", e.what());
     return 1;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "kronlab_served: unexpected error: %s\n",
-                 e.what());
+    obs::log(obs::LogLevel::error, "served", "fatal")
+        .field("kind", "unexpected")
+        .field("what", e.what());
     return 1;
   }
 }

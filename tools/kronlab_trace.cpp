@@ -34,12 +34,23 @@ using kronlab::trace::TraceFile;
 namespace {
 
 [[noreturn]] void usage(int code) {
+  // Usage text is CLI output for the invoking human, not an operational
+  // event — it stays printf-family by design.
+  // kronlab-lint: allow(obs-log)
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: kronlab_trace convert [-o OUT.json] IN...\n"
                "       kronlab_trace summary IN\n"
                "       kronlab_trace diff A B\n\n"
                "IN/A/B are KRNLTRC1 binaries (.trace/.bin) or the Chrome\n"
                "trace JSON kronlab writes.\n");
+  std::exit(code);
+}
+
+/// Failure funnel: message to the terminal, then exit.  Exit codes:
+/// 0 ok, 2 usage, 3 unreadable file, 4 unparsable content.
+[[noreturn]] void die(int code, const std::string& msg) {
+  // kronlab-lint: allow(obs-log)
+  std::fprintf(stderr, "kronlab_trace: %s\n", msg.c_str());
   std::exit(code);
 }
 
@@ -263,8 +274,7 @@ TraceFile from_chrome_json(const std::string& text) {
 TraceFile load(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) {
-    std::fprintf(stderr, "kronlab_trace: cannot open %s\n", path.c_str());
-    std::exit(3);
+    die(3, "cannot open " + path);
   }
   char magic[8] = {};
   f.read(magic, sizeof magic);
@@ -278,8 +288,7 @@ TraceFile load(const std::string& path) {
     text << in.rdbuf();
     return from_chrome_json(text.str());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "kronlab_trace: %s: %s\n", path.c_str(), e.what());
-    std::exit(4);
+    die(4, path + ": " + e.what());
   }
 }
 
@@ -326,8 +335,7 @@ int cmd_convert(const std::vector<std::string>& args) {
   try {
     kronlab::trace::write_chrome_file(out_path, merged, epoch);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "kronlab_trace: %s\n", e.what());
-    return 3;
+    die(3, e.what());
   }
   std::printf("wrote %s (%zu events from %zu file%s)\n", out_path.c_str(),
               merged.size(), files.size(), files.size() == 1 ? "" : "s");
@@ -449,6 +457,22 @@ int cmd_summary(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(st.spans),
                 fmt_ms(st.total_ns).c_str(), fmt_ms(st.self_ns).c_str());
   }
+  // Registry cross-reference: the bench harness (and any caller of
+  // trace::counter with cat "stats") exports obs/stats registry values
+  // as counter events; surface their final values next to the timing
+  // table so one file answers "how long" and "how much".
+  std::map<std::string, double> registry;
+  for (const auto& e : tf.events) {
+    if (e.kind == Kind::counter && e.cat == "stats") {
+      registry[e.name] = e.value; // last write wins
+    }
+  }
+  if (!registry.empty()) {
+    std::printf("\nregistry counters (obs/stats):\n");
+    for (const auto& [name, value] : registry) {
+      std::printf("  %-40s %.3f\n", name.c_str(), value);
+    }
+  }
   const auto path = critical_path(tf.events);
   if (!path.empty()) {
     std::printf("\ncritical path (longest span, descending):\n");
@@ -523,6 +547,7 @@ int main(int argc, char** argv) {
   if (cmd == "convert") return cmd_convert(args);
   if (cmd == "summary") return cmd_summary(args);
   if (cmd == "diff") return cmd_diff(args);
+  // kronlab-lint: allow(obs-log)
   std::fprintf(stderr, "kronlab_trace: unknown command '%s'\n", cmd.c_str());
   usage(2);
 }
