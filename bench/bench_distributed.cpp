@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "harness/harness.hpp"
+#include "kronlab/common/registry.hpp"
 #include "kronlab/common/timer.hpp"
 #include "kronlab/dist/sharded.hpp"
 #include "kronlab/gen/random_bipartite.hpp"
@@ -37,7 +38,7 @@ int main(int argc, char** argv) {
       args.push_back(argv[i]);
     }
   }
-  if (no_aggregate) setenv("KRONLAB_NO_AGGREGATE", "1", 1);
+  if (no_aggregate) setenv(kronlab::env::kNoAggregate, "1", 1);
   bench::Harness h("distributed", bench::parse_args(
                                       static_cast<int>(args.size()),
                                       args.data()));

@@ -1,0 +1,24 @@
+"""kronlab_analyze — semantic, project-specific static analysis.
+
+Two frontends lower C++ translation units into one small IR
+(`analyzer.ir`); the rules (`analyzer.rules`) only ever see the IR plus
+raw file text, so every rule behaves identically under both engines:
+
+* ``internal`` — a token/scope frontend with no dependencies beyond the
+  Python standard library.  This is the engine CI gates on and the one
+  that always works in a bare container.
+* ``clang`` — libclang Python bindings, when importable.  Sees through
+  macros and resolves real types; runs as an advisory cross-check.
+
+See DESIGN.md §15 for the capability map and escape policy.
+"""
+
+__version__ = "1.0"
+
+RULES = (
+    "lock-order",
+    "blocking-under-lock",
+    "memory-order",
+    "unchecked-read",
+    "registry",
+)

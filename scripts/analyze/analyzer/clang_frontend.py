@@ -1,0 +1,256 @@
+"""libclang frontend: lowers translation units to the analyzer IR.
+
+Optional by design: the container CI gates on may not ship libclang,
+and this repo must not grow hard dependencies.  `available()` reports
+whether the bindings import *and* a shared library can be loaded; the
+CLI treats an unavailable clang engine as a loudly-reported skip, never
+a silent pass (DESIGN.md §15, escape policy).
+
+When it does run, this engine sees through macros and resolves real
+receiver types, so mutex identities are exact where the internal
+frontend's are best-effort.  Both lower to the same IR and run the same
+rules; CI compares them on the fixture battery.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from . import ir
+
+_IMPORT_ERROR: Optional[str] = None
+try:  # pragma: no cover - exercised only where libclang exists
+    from clang import cindex as _cx
+except Exception as e:  # ModuleNotFoundError, ImportError on broken installs
+    _cx = None
+    _IMPORT_ERROR = f"clang.cindex import failed: {e}"
+
+_GUARD_TYPES = ("MutexLock", "lock_guard", "unique_lock", "scoped_lock")
+_ATOMIC_OPS = {
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong",
+}
+_ORDER_SPELLINGS = {
+    "memory_order_relaxed": "relaxed",
+    "memory_order_acquire": "acquire",
+    "memory_order_release": "release",
+    "memory_order_acq_rel": "acq_rel",
+    "memory_order_seq_cst": "seq_cst",
+    "memory_order_consume": "consume",
+}
+
+
+def _ensure_library() -> Optional[str]:
+    """Try to make Config point at a loadable libclang.  Returns an error
+    string, or None on success."""
+    if _cx is None:
+        return _IMPORT_ERROR
+    try:
+        _cx.Index.create()
+        return None
+    except Exception:
+        pass
+    candidates = []
+    env = os.environ.get("KRONLAB_LIBCLANG")
+    if env:
+        candidates.append(env)
+    for d in ("/usr/lib/llvm-18/lib", "/usr/lib/llvm-17/lib",
+              "/usr/lib/llvm-16/lib", "/usr/lib/llvm-15/lib",
+              "/usr/lib/llvm-14/lib", "/usr/lib/x86_64-linux-gnu",
+              "/usr/lib", "/usr/local/lib"):
+        for n in ("libclang.so", "libclang-18.so", "libclang-17.so",
+                  "libclang-16.so", "libclang-15.so", "libclang-14.so",
+                  "libclang.so.1"):
+            candidates.append(os.path.join(d, n))
+    for c in candidates:
+        if not os.path.exists(c):
+            continue
+        try:
+            _cx.Config.loaded = False
+            _cx.Config.set_library_file(c)
+            _cx.Index.create()
+            return None
+        except Exception:
+            continue
+    return "no loadable libclang shared library found"
+
+
+def available() -> Tuple[bool, str]:
+    """(ok, reason-if-not)."""
+    err = _ensure_library()
+    return (err is None), (err or "")
+
+
+def _qualified_name(cursor) -> str:
+    parts = []
+    c = cursor
+    while c is not None and c.kind != _cx.CursorKind.TRANSLATION_UNIT:
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    parts.reverse()
+    # Drop namespaces: rules key on Class::member like the internal engine.
+    return "::".join(parts[-2:]) if len(parts) >= 2 else (
+        parts[0] if parts else "?")
+
+
+def _mutex_id(expr) -> str:
+    """Canonical id for the mutex argument expression of a guard/wait."""
+    ref = None
+    for c in expr.walk_preorder():
+        if c.kind in (_cx.CursorKind.MEMBER_REF_EXPR,
+                      _cx.CursorKind.DECL_REF_EXPR):
+            ref = c  # last one wins: the member itself
+    if ref is None:
+        return expr.spelling or "?"
+    d = ref.referenced
+    if d is None:
+        return ref.spelling or "?"
+    parent = d.semantic_parent
+    if parent is not None and parent.kind in (
+            _cx.CursorKind.CLASS_DECL, _cx.CursorKind.STRUCT_DECL):
+        return f"{parent.spelling}::{d.spelling}"
+    return d.spelling
+
+
+def _lower_function(cursor, path: str):
+    """Returns (Function, [nested lambda Functions])."""
+    fn = ir.Function(name=_qualified_name(cursor), file=path,
+                     line=cursor.location.line)
+    lowered: List[ir.Function] = []
+    body = None
+    for c in cursor.get_children():
+        if c.kind == _cx.CursorKind.COMPOUND_STMT:
+            body = c
+    if body is None:
+        return fn, lowered
+
+    def walk(node, in_lambda: bool) -> None:
+        for c in node.get_children():
+            k = c.kind
+            if k == _cx.CursorKind.LAMBDA_EXPR:
+                # Lowered separately; held locks do not flow inside.
+                sub, sub_nested = _lower_function(c, path)
+                sub.name = f"{fn.name}::<lambda@{c.location.line}>"
+                lowered.append(sub)
+                lowered.extend(sub_nested)
+                continue
+            if k == _cx.CursorKind.VAR_DECL and any(
+                    g in c.type.spelling for g in _GUARD_TYPES):
+                args = [a for a in c.get_children()
+                        if a.kind != _cx.CursorKind.TYPE_REF]
+                mutex = _mutex_id(args[-1]) if args else "?"
+                ext = c.semantic_parent.extent if c.semantic_parent else c.extent
+                fn.events.append(ir.Acquire(
+                    mutex=mutex, line=c.location.line, kind="raii",
+                    scope_end_line=ext.end.line))
+                continue
+            if k == _cx.CursorKind.CALL_EXPR:
+                name = c.spelling or ""
+                children = list(c.get_children())
+                if name == "wait" and children:
+                    args = children[1:]
+                    if args:
+                        fn.events.append(ir.CondWait(
+                            mutex=_mutex_id(args[0]),
+                            line=c.location.line))
+                        walk(c, in_lambda)
+                        continue
+                if name in ("lock", "unlock") and children:
+                    mutex = _mutex_id(children[0])
+                    if name == "lock":
+                        fn.events.append(ir.Acquire(
+                            mutex=mutex, line=c.location.line,
+                            kind="manual"))
+                    else:
+                        fn.events.append(ir.Release(
+                            mutex=mutex, line=c.location.line))
+                    continue
+                if name in _ATOMIC_OPS:
+                    order = "seq_cst(default)"
+                    var = "?"
+                    for t in c.get_tokens():
+                        o = _ORDER_SPELLINGS.get(t.spelling)
+                        if o:
+                            order = o
+                            break
+                    if children:
+                        var = children[0].spelling or "?"
+                        for cc in children[0].walk_preorder():
+                            if cc.kind in (_cx.CursorKind.MEMBER_REF_EXPR,
+                                           _cx.CursorKind.DECL_REF_EXPR):
+                                var = cc.spelling or var
+                    fn.events.append(ir.AtomicOp(
+                        var=var, op=name, order=order,
+                        line=c.location.line))
+                    walk(c, in_lambda)
+                    continue
+                qual = ""
+                ref = c.referenced
+                if ref is not None and ref.semantic_parent is not None \
+                        and ref.semantic_parent.kind in (
+                            _cx.CursorKind.CLASS_DECL,
+                            _cx.CursorKind.STRUCT_DECL):
+                    qual = ref.semantic_parent.spelling
+                if name:
+                    fn.events.append(ir.Call(
+                        callee=name, qualifier=qual, line=c.location.line))
+                walk(c, in_lambda)
+                continue
+            walk(c, in_lambda)
+
+    walk(body, False)
+    return fn, lowered
+
+
+def lower_files(paths: List[str],
+                compdb_dir: Optional[str] = None
+                ) -> Tuple[List[ir.Function], Dict[str, Dict[str, str]]]:
+    """Lower `paths` with libclang.  Raises RuntimeError if unavailable."""
+    err = _ensure_library()
+    if err:
+        raise RuntimeError(err)
+    index = _cx.Index.create()
+    db = None
+    if compdb_dir:
+        try:
+            db = _cx.CompilationDatabase.fromDirectory(compdb_dir)
+        except Exception:
+            db = None
+    functions: List[ir.Function] = []
+    mutex_classes: Dict[str, Dict[str, str]] = {}
+    for path in paths:
+        args = ["-std=c++20", "-x", "c++"]
+        if db is not None:
+            cmds = db.getCompileCommands(path)
+            if cmds:
+                raw = list(cmds[0].arguments)[1:-1]
+                args = [a for a in raw if a not in ("-c", "-o")
+                        and not a.endswith(".o") and a != path]
+        try:
+            tu = index.parse(path, args=args)
+        except Exception:
+            continue
+        for cursor in tu.cursor.walk_preorder():
+            loc = cursor.location
+            if loc.file is None or os.path.abspath(loc.file.name) != \
+                    os.path.abspath(path):
+                continue
+            if cursor.kind in (_cx.CursorKind.FIELD_DECL,) and \
+                    "Mutex" in cursor.type.spelling:
+                parent = cursor.semantic_parent
+                if parent is not None and parent.spelling:
+                    mutex_classes.setdefault(parent.spelling, {})[
+                        cursor.spelling] = \
+                        f"{parent.spelling}::{cursor.spelling}"
+            if cursor.kind in (_cx.CursorKind.FUNCTION_DECL,
+                               _cx.CursorKind.CXX_METHOD,
+                               _cx.CursorKind.CONSTRUCTOR,
+                               _cx.CursorKind.DESTRUCTOR) \
+                    and cursor.is_definition():
+                fn, extra = _lower_function(cursor, path)
+                functions.append(fn)
+                functions.extend(extra)
+    return functions, mutex_classes

@@ -1,0 +1,145 @@
+"""A small C++ lexer: comments/strings/chars aware, line-accurate.
+
+This is deliberately not a preprocessor — kronlab's sources are
+macro-light (the only relevant macros are the thread-safety annotation
+wrappers, which the internal frontend treats as plain tokens).  The
+lexer's contract is: every identifier, punctuator, string literal, and
+char literal in the file appears as a token with a 1-based line number;
+comments disappear; string/char literal *contents* are preserved in the
+token so rules like `registry` can inspect them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"  # spelling includes quotes
+CHAR = "char"      # spelling includes quotes
+PUNCT = "punct"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    spelling: str
+    line: int
+
+    def __repr__(self) -> str:  # compact, for debugging fixtures
+        return f"{self.kind}:{self.spelling}@{self.line}"
+
+
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+def tokenize(text: str) -> List[Token]:
+    toks: List[Token] = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                j = text.find("\n", i)
+                i = n if j < 0 else j
+                continue
+            if text[i + 1] == "*":
+                j = text.find("*/", i + 2)
+                if j < 0:
+                    break
+                line += text.count("\n", i, j + 2)
+                i = j + 2
+                continue
+        # Preprocessor directives: skip to end of (continued) line, but
+        # keep #include targets invisible — rules use the file list, not
+        # the include graph.
+        if c == "#" and (not toks or toks[-1].line != line):
+            while i < n:
+                j = text.find("\n", i)
+                if j < 0:
+                    i = n
+                    break
+                if text[j - 1] == "\\" or (j >= 2 and text[j - 2: j] == "\\\r"):
+                    line += 1
+                    i = j + 1
+                    continue
+                i = j  # leave the newline for the main loop
+                break
+            continue
+        # String / char literals (raw strings included).
+        if c == 'R' and text.startswith('R"', i):
+            j = text.find('"', i + 1)
+            delim = text[i + 2: text.find("(", i)]
+            close = ")" + delim + '"'
+            k = text.find(close, i)
+            if k < 0:
+                break
+            end = k + len(close)
+            toks.append(Token(STRING, text[i:end], line))
+            line += text.count("\n", i, end)
+            i = end
+            continue
+        if c in "\"'":
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == c:
+                    break
+                if text[j] == "\n":
+                    break  # unterminated; tolerate
+                j += 1
+            end = min(j + 1, n)
+            toks.append(Token(STRING if c == '"' else CHAR, text[i:end], line))
+            i = end
+            continue
+        # Identifiers / keywords.
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            toks.append(Token(IDENT, text[i:j], line))
+            i = j
+            continue
+        # Numbers (good enough: consume [0-9a-fA-FxX'.+-uUlL] run).
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n and (text[j] in _ID_CONT or text[j] in ".'"):
+                j += 1
+            toks.append(Token(NUMBER, text[i:j], line))
+            i = j
+            continue
+        # Punctuators, longest-match.
+        for p in _PUNCT3:
+            if text.startswith(p, i):
+                toks.append(Token(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            for p in _PUNCT2:
+                if text.startswith(p, i):
+                    toks.append(Token(PUNCT, p, line))
+                    i += len(p)
+                    break
+            else:
+                toks.append(Token(PUNCT, c, line))
+                i += 1
+    return toks

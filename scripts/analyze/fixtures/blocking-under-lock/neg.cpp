@@ -1,0 +1,45 @@
+// Negative fixture: CondVar::wait releases the mutex (exempt); the send
+// happens after the guard's block closes; and the deliberate
+// write-under-write-mutex carries a justified allow marker.
+// ANALYZE-EXPECT: blocking-under-lock 0
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+struct CondVar {
+  void wait(Mutex& mu);
+};
+struct Comm {
+  void send(int to, int tag);
+};
+struct Transport {};
+void write_frame(Transport& t);
+
+struct Node {
+  Mutex mu;
+  Mutex write_mu;
+  CondVar cv;
+  Comm comm;
+  Transport transport;
+  bool ready;
+  void drain();
+  void flush();
+};
+
+void Node::drain() {
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+  }
+  comm.send(0, 1);
+}
+
+void Node::flush() {
+  MutexLock lock(write_mu);
+  // kronlab-analyze: allow(blocking-under-lock) single writer per peer
+  write_frame(transport);
+}

@@ -1,0 +1,36 @@
+// Positive fixture: a blocking wire call made directly under a lock,
+// and one reached through a helper one call level down.
+// ANALYZE-EXPECT: blocking-under-lock 2
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+struct Comm {
+  void send(int to, int tag);
+};
+
+struct Node {
+  Mutex mu;
+  Comm comm;
+  void bad_direct();
+  void helper();
+  void bad_via_helper();
+};
+
+void Node::bad_direct() {
+  MutexLock lock(mu);
+  comm.send(0, 1);
+}
+
+void Node::helper() {
+  comm.send(0, 1);
+}
+
+void Node::bad_via_helper() {
+  MutexLock lock(mu);
+  helper();
+}

@@ -1,0 +1,33 @@
+// Negative fixture: every path takes alpha before beta (including one
+// edge introduced through a call), so the graph is acyclic.
+// ANALYZE-EXPECT: lock-order 0
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+struct Engine {
+  Mutex alpha_mu;
+  Mutex beta_mu;
+  void forward();
+  void also_forward();
+  void take_beta();
+};
+
+void Engine::forward() {
+  MutexLock a(alpha_mu);
+  MutexLock b(beta_mu);
+}
+
+void Engine::take_beta() {
+  MutexLock b(beta_mu);
+}
+
+void Engine::also_forward() {
+  MutexLock a(alpha_mu);
+  take_beta();
+}

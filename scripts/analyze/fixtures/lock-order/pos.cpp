@@ -1,0 +1,28 @@
+// Positive fixture: two functions take the same pair of locks in
+// opposite orders — the classic deadlock precondition.
+// ANALYZE-EXPECT: lock-order 1
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+struct Engine {
+  Mutex alpha_mu;
+  Mutex beta_mu;
+  void forward();
+  void backward();
+};
+
+void Engine::forward() {
+  MutexLock a(alpha_mu);
+  MutexLock b(beta_mu);
+}
+
+void Engine::backward() {
+  MutexLock b(beta_mu);
+  MutexLock a(alpha_mu);
+}

@@ -1,0 +1,12 @@
+// Negative fixture: the relaxed load is covered by a justified audit
+// entry with a matching site count.
+// ANALYZE-EXPECT: memory-order 0
+#include <atomic>
+
+struct State {
+  std::atomic<int> flag;
+};
+
+int load_flag(State& s) {
+  return s.flag.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,12 @@
+// Positive fixture: one atomic site with no audit entry, plus (via
+// pos.audit) one stale entry whose site no longer exists.
+// ANALYZE-EXPECT: memory-order 2
+#include <atomic>
+
+struct State {
+  std::atomic<int> flag;
+};
+
+int load_flag(State& s) {
+  return s.flag.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,19 @@
+// Negative fixture tree: constants come from the registry; the magic
+// only ever appears embedded in a longer diagnostic string, which the
+// rule deliberately ignores.
+// ANALYZE-EXPECT: registry 0
+#include <cstdlib>
+
+#include "registry.hpp"
+
+const char* trace_env() {
+  return std::getenv(kronlab::env::kTrace);
+}
+
+const char* diagnostic() {
+  return "stream is not a KRNLSEG1 segment (bad magic)";
+}
+
+const char* seg_magic() {
+  return kronlab::magic::kSeg1;
+}

@@ -1,0 +1,10 @@
+// Mini registry for the negative fixture tree.
+#pragma once
+
+namespace kronlab::env {
+inline constexpr const char* kTrace = "KRONLAB_TRACE";
+} // namespace kronlab::env
+
+namespace kronlab::magic {
+inline constexpr char kSeg1[8] = {'K', 'R', 'N', 'L', 'S', 'E', 'G', '1'};
+} // namespace kronlab::magic

@@ -1,0 +1,15 @@
+// Positive fixture tree: stray env literal, stray magic string, stray
+// char-array magic, plus two registered-but-undocumented names
+// (the segment magic and BATC).
+// ANALYZE-EXPECT: registry 5
+#include <cstdlib>
+
+const char* trace_env() {
+  return std::getenv("KRONLAB_TRACE");
+}
+
+const char* seg_magic_string() {
+  return "KRNLSEG1";
+}
+
+constexpr char kLocalMagic[8] = {'K', 'R', 'N', 'L', 'S', 'E', 'G', '1'};

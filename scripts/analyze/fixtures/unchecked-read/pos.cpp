@@ -1,0 +1,10 @@
+// Positive fixture: a checksum result dropped on the floor, once as a
+// plain expression statement and once laundered through a (void) cast.
+// ANALYZE-EXPECT: unchecked-read 2
+
+unsigned long fnv1a64(const void* data, unsigned long nbytes);
+
+void process() {
+  fnv1a64(nullptr, 0);
+  (void)fnv1a64(nullptr, 0);
+}

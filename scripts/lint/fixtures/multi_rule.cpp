@@ -1,0 +1,28 @@
+// LINT-EXPECT: naked-new
+// LINT-EXPECT: no-endl
+// LINT-EXPECT: no-assert
+// LINT-AS: src/kronlab/obs/multi_fixture.cpp
+//
+// Rule-interaction fixture: several rules trip in one file, and two trip
+// on the SAME line where an allow() marker names only one of them — the
+// unnamed rule must still fire.  Exercises that suppression is per-rule,
+// not per-line.
+
+#include <cassert>
+#include <iostream>
+
+struct Node {
+  int v = 0;
+};
+
+Node* build() {
+  assert(true);                         // no-assert fires
+  std::cout << "built" << std::endl;    // no-endl fires
+  return new Node;                      // naked-new fires
+}
+
+Node* build_quietly() {
+  // kronlab-lint: allow(naked-new) arena-owned; freed wholesale at shutdown
+  Node* n = new Node; std::cout << "x" << std::endl;  // no-endl STILL fires
+  return n;
+}

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import subprocess
 import sys
+import tempfile
 import unittest
 from pathlib import Path
 
@@ -95,6 +96,83 @@ class TestEscapeHatch(unittest.TestCase):
         self.assertIn("LINT-EXPECT: naked-new", text)
         r = run_lint("--self-test")
         self.assertIn("allow_escape.cpp: OK", r.stdout)
+
+
+class TestRuleInteractions(unittest.TestCase):
+    """Multiple rules in one file, including two on the same line where an
+    allow() marker names only one — suppression is per-rule, not per-line."""
+
+    def test_multi_rule_fixture_expectations(self):
+        text = (FIXTURES / "multi_rule.cpp").read_text()
+        for rule in ("naked-new", "no-endl", "no-assert"):
+            self.assertIn(f"LINT-EXPECT: {rule}", text)
+        r = run_lint("--self-test")
+        self.assertEqual(r.returncode, 0, msg=r.stdout + r.stderr)
+        self.assertIn("multi_rule.cpp: OK", r.stdout)
+
+    def test_allowed_rule_does_not_shield_other_rule_on_same_line(self):
+        # Lint under the fixture's virtual src/ path and look at the
+        # allow(naked-new) line itself: its naked-new is suppressed, its
+        # no-endl is not.
+        sys.path.insert(0, str(SCRIPT_DIR))
+        import kronlab_lint
+
+        fixture = FIXTURES / "multi_rule.cpp"
+        marked_line = next(
+            i for i, line in enumerate(fixture.read_text().splitlines(), 1)
+            if "STILL fires" in line
+        )
+        findings = kronlab_lint.lint_file(
+            fixture, "src/kronlab/obs/multi_fixture.cpp"
+        )
+        rules_on_line = {f.rule for f in findings if f.line == marked_line}
+        self.assertIn("no-endl", rules_on_line)
+        self.assertNotIn("naked-new", rules_on_line)
+
+    def test_direct_lint_suppresses_only_marked_site(self):
+        # Outside src/ only path-independent rules apply: the unmarked
+        # `new` fires, the allow-marked one stays quiet.
+        r = run_lint(str(FIXTURES / "multi_rule.cpp"), "--root", str(REPO))
+        self.assertEqual(r.returncode, 1, msg=r.stdout + r.stderr)
+        self.assertEqual(r.stdout.count("[naked-new]"), 1, msg=r.stdout)
+
+    def test_allow_marker_on_wrong_line_does_not_suppress(self):
+        # The marker window is the finding's line and the line directly
+        # above; two lines up must NOT suppress.
+        with tempfile.TemporaryDirectory() as td:
+            p = Path(td) / "wrong_line.cpp"
+            p.write_text(
+                "// kronlab-lint: allow(naked-new) marker is too far up\n"
+                "\n"
+                "int* make() { return new int(7); }\n"
+            )
+            r = run_lint(str(p), "--root", str(REPO))
+            self.assertEqual(r.returncode, 1, msg=r.stdout + r.stderr)
+            self.assertIn("naked-new", r.stdout)
+
+    def test_allow_marker_directly_above_does_suppress(self):
+        with tempfile.TemporaryDirectory() as td:
+            p = Path(td) / "right_line.cpp"
+            p.write_text(
+                "// kronlab-lint: allow(naked-new) placement control\n"
+                "int* make() { return new int(7); }\n"
+            )
+            r = run_lint(str(p), "--root", str(REPO))
+            self.assertEqual(r.returncode, 0, msg=r.stdout + r.stderr)
+
+
+class TestAnalyzerSelfTest(unittest.TestCase):
+    """kronlab_analyze's fixture battery, reachable from the same runner so
+    `python3 scripts/lint/test_lint.py` covers both static-analysis tools."""
+
+    def test_analyze_self_test_passes(self):
+        analyze = REPO / "scripts" / "analyze" / "kronlab_analyze.py"
+        r = subprocess.run(
+            [sys.executable, str(analyze), "--self-test"],
+            capture_output=True, text=True, cwd=REPO,
+        )
+        self.assertEqual(r.returncode, 0, msg=r.stdout + r.stderr)
+        self.assertIn("0 failure(s)", r.stdout)
 
 
 if __name__ == "__main__":

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/common/registry.hpp"
 #include "kronlab/obs/stats.hpp"
 #include "kronlab/obs/trace.hpp"
 #include "kronlab/parallel/metrics.hpp"
@@ -34,7 +35,7 @@ const char* reason_name(int r) {
 
 AggregatorOptions AggregatorOptions::from_env() {
   AggregatorOptions opt;
-  const char* env = std::getenv("KRONLAB_NO_AGGREGATE");
+  const char* env = std::getenv(kronlab::env::kNoAggregate);
   if (env != nullptr && env[0] != '\0' && env[0] != '0') {
     opt.enabled = false;
   }

@@ -50,6 +50,7 @@
 #include <optional>
 #include <vector>
 
+#include "kronlab/common/registry.hpp"
 #include "kronlab/common/types.hpp"
 #include "kronlab/dist/comm.hpp"
 
@@ -135,7 +136,7 @@ public:
 
   /// First word of a batched wire message.  Raw frames must start with a
   /// non-negative word.
-  static constexpr word_t kBatchMagic = -0x42415443; // "BATC"
+  static constexpr word_t kBatchMagic = magic::kBatchWord;
 
   [[nodiscard]] static bool is_batch(const Message& msg);
 

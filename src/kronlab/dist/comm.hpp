@@ -104,7 +104,7 @@ public:
   /// (messages from one sender with one tag arrive in send order).
   /// Throws rank_failed if the sender dies before a message arrives —
   /// a blocking receive from a dead rank can never complete.
-  Message recv(index_t from, int tag);
+  [[nodiscard]] Message recv(index_t from, int tag);
 
   /// Deadline receive: like recv, but returns nullopt once `timeout`
   /// elapses with no matching message.  Expiry releases any fault-delayed
@@ -113,11 +113,11 @@ public:
   /// the deadline — once the sender is dead and no message is pending:
   /// nothing new can ever arrive, so retry loops fail over promptly
   /// instead of burning their full timeout budget per attempt.
-  std::optional<Message> recv_deadline(index_t from, int tag,
+  [[nodiscard]] std::optional<Message> recv_deadline(index_t from, int tag,
                                        std::chrono::milliseconds timeout);
 
   /// Deadline receive from *any* sender on `tag`; returns (from, message).
-  std::optional<std::pair<index_t, Message>> recv_any(
+  [[nodiscard]] std::optional<std::pair<index_t, Message>> recv_any(
       int tag, std::chrono::milliseconds timeout);
 
   /// Perfect failure detector: false once `r` was killed at a fault point.
@@ -138,23 +138,24 @@ public:
   void barrier();
 
   /// Sum a value across ranks; every rank gets the total.
-  word_t allreduce_sum(word_t value);
+  [[nodiscard]] word_t allreduce_sum(word_t value);
 
   /// Member-collective variant: only `members` (ascending, containing
   /// this rank) participate; members[0] is the root.  Used by recovery
   /// protocols after dead ranks have been excluded.
-  word_t allreduce_sum(word_t value, const std::vector<index_t>& members);
+  [[nodiscard]] word_t allreduce_sum(word_t value,
+                                     const std::vector<index_t>& members);
 
   /// Gather one value from each rank; every rank gets the full vector.
-  std::vector<word_t> allgather(word_t value);
+  [[nodiscard]] std::vector<word_t> allgather(word_t value);
 
   /// Member-collective allgather (result aligned with `members`).
-  std::vector<word_t> allgather(word_t value,
+  [[nodiscard]] std::vector<word_t> allgather(word_t value,
                                 const std::vector<index_t>& members);
 
   /// All-to-all exchange: element [r] of `outgoing` goes to rank r; the
   /// result holds what every rank sent here.
-  std::vector<Message> alltoall(std::vector<Message> outgoing);
+  [[nodiscard]] std::vector<Message> alltoall(std::vector<Message> outgoing);
 
   /// Monotonic per-rank protocol epoch (see sharded.cpp's exchange):
   /// collective-order calls on every rank yield matching values.

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/common/registry.hpp"
 #include "kronlab/io/file_ops.hpp"
 #include "kronlab/obs/trace.hpp"
 
@@ -32,9 +33,11 @@ std::uint64_t fnv1a64(const void* data, std::size_t nbytes,
 
 namespace {
 
-constexpr char kMagicV1[8] = {'K', 'R', 'N', 'L', 'C', 'S', 'R', '1'};
-constexpr char kMagicV2[8] = {'K', 'R', 'N', 'L', 'C', 'S', 'R', '2'};
-constexpr char kMagicCkp[8] = {'K', 'R', 'N', 'L', 'C', 'K', 'P', '1'};
+// One definition per magic lives in common/registry.hpp (the analyzer's
+// registry rule keeps it that way); these are local aliases.
+constexpr const char (&kMagicV1)[8] = magic::kCsr1;
+constexpr const char (&kMagicV2)[8] = magic::kCsr2;
+constexpr const char (&kMagicCkp)[8] = magic::kCkp1;
 
 /// Hard sanity cap on any single dimension/count read from a file: far
 /// above every real workload, far below anything that could overflow the

@@ -39,7 +39,7 @@
 namespace kronlab::grb {
 
 /// 64-bit FNV-1a over a byte range (the checksum used by both envelopes).
-std::uint64_t fnv1a64(const void* data, std::size_t nbytes,
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t nbytes,
                       std::uint64_t basis = 0xcbf29ce484222325ULL);
 
 /// Read-side policy knobs.
@@ -52,10 +52,11 @@ struct ReadOptions {
 };
 
 void write_binary(std::ostream& out, const Csr<count_t>& a);
-Csr<count_t> read_binary(std::istream& in, const ReadOptions& opt = {});
+[[nodiscard]] Csr<count_t> read_binary(std::istream& in,
+                                       const ReadOptions& opt = {});
 
 void write_binary_file(const std::string& path, const Csr<count_t>& a);
-Csr<count_t> read_binary_file(const std::string& path,
+[[nodiscard]] Csr<count_t> read_binary_file(const std::string& path,
                               const ReadOptions& opt = {});
 
 /// Checksummed snapshot: free-form metadata words + one CSR payload.
@@ -65,13 +66,13 @@ struct SnapshotEnvelope {
 };
 
 void write_snapshot(std::ostream& out, const SnapshotEnvelope& snap);
-SnapshotEnvelope read_snapshot(std::istream& in);
+[[nodiscard]] SnapshotEnvelope read_snapshot(std::istream& in);
 
 /// File variants.  write_snapshot_file is atomic: it writes `path.tmp`
 /// and renames, so a crash mid-checkpoint never leaves a torn file under
 /// the final name.
 void write_snapshot_file(const std::string& path,
                          const SnapshotEnvelope& snap);
-SnapshotEnvelope read_snapshot_file(const std::string& path);
+[[nodiscard]] SnapshotEnvelope read_snapshot_file(const std::string& path);
 
 } // namespace kronlab::grb

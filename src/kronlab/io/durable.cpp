@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "kronlab/common/registry.hpp"
+#include "kronlab/obs/log.hpp"
 #include "kronlab/obs/stats.hpp"
 #include "kronlab/obs/trace.hpp"
 #include "kronlab/obs/watchdog.hpp"
@@ -12,8 +14,8 @@ namespace kronlab::io {
 
 namespace {
 
-constexpr char kSegMagic[8] = {'K', 'R', 'N', 'L', 'S', 'E', 'G', '1'};
-constexpr char kManMagic[8] = {'K', 'R', 'N', 'L', 'M', 'A', 'N', '1'};
+constexpr const char (&kSegMagic)[8] = magic::kSeg1;
+constexpr const char (&kManMagic)[8] = magic::kMan1;
 constexpr std::int64_t kManifestVersion = 1;
 constexpr const char* kManifestName = "MANIFEST";
 
@@ -276,6 +278,9 @@ ScanResult scan_store(FileOps& ops, const std::string& dir,
   }
   for (const auto& name : names) {
     if (name.size() >= 4 && name.rfind(".tmp") == name.size() - 4) {
+      obs::log(obs::LogLevel::warn, "io", "scan_discard_tmp")
+          .field("dir", dir)
+          .field("file", name);
       ops.remove(dir + "/" + name); // crash leftovers, never meaningful
       ++res.discarded_files;
     }
@@ -335,6 +340,11 @@ ScanResult scan_store(FileOps& ops, const std::string& dir,
            seg.header.seg_index == prog.segments &&
            seg.header.first_edge == prog.edges;
       if (!ok) {
+        // The crash window's next segment is torn, corrupt, or from a
+        // different spec: drop it and let generation redo the range.
+        obs::log(obs::LogLevel::warn, "io", "scan_reject_next_segment")
+            .field("path", path)
+            .field("shard", static_cast<std::int64_t>(s));
         ops.remove(path);
         ++res.discarded_files;
         break;
@@ -362,6 +372,10 @@ ScanResult scan_store(FileOps& ops, const std::string& dir,
       if (seg_at == std::string::npos) continue;
       const count_t idx = std::strtoll(name.c_str() + seg_at + 5, nullptr, 10);
       if (idx >= prog.segments) {
+        obs::log(obs::LogLevel::warn, "io", "scan_discard_stale_segment")
+            .field("dir", dir)
+            .field("file", name)
+            .field("committed", static_cast<std::int64_t>(prog.segments));
         ops.remove(dir + "/" + name);
         ++res.discarded_files;
       }

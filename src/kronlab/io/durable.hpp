@@ -109,7 +109,7 @@ struct SegmentData {
 /// Write + seal one segment (write-temp → fsync → atomic rename).
 /// Returns the payload FNV-1a.  Throws io_error on any failed step; the
 /// final name is never visible unless every byte is on disk.
-std::uint64_t write_segment(
+[[nodiscard]] std::uint64_t write_segment(
     FileOps& ops, const std::string& dir, const SegmentHeader& header,
     const std::vector<std::pair<index_t, index_t>>& edges);
 

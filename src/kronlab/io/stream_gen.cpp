@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "kronlab/grb/binary_io.hpp" // fnv1a64
+#include "kronlab/obs/log.hpp"
 #include "kronlab/obs/trace.hpp"
 #include "kronlab/parallel/metrics.hpp"
 
@@ -53,7 +54,7 @@ private:
     h.seg_index = prog.segments;
     h.first_edge = prog.edges;
     h.num_edges = static_cast<count_t>(buf_.size());
-    write_segment(ops_, dir_, h, buf_);
+    const std::uint64_t payload_hash = write_segment(ops_, dir_, h, buf_);
     for (const auto& [p, q] : buf_) {
       const std::int64_t rec[2] = {p, q};
       prog.chain_hash = fnv1a64_words(rec, sizeof rec, prog.chain_hash);
@@ -63,6 +64,11 @@ private:
     buf_.clear();
     write_manifest(ops_, dir_, man_);
     ++sealed_;
+    obs::log(obs::LogLevel::debug, "io", "segment_sealed")
+        .field("shard", static_cast<std::int64_t>(shard_))
+        .field("seg", static_cast<std::int64_t>(h.seg_index))
+        .field("edges", static_cast<std::int64_t>(h.num_edges))
+        .field("payload_hash", payload_hash);
     trace::counter("io", "edges_committed",
                    static_cast<double>(man_.total_edges()));
   }

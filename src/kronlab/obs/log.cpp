@@ -8,13 +8,14 @@
 #include <cstdlib>
 #include <ctime>
 
+#include "kronlab/common/registry.hpp"
 #include "kronlab/common/sync.hpp"
 
 namespace kronlab::obs {
 namespace {
 
 LogLevel env_log_level() {
-  const char* v = std::getenv("KRONLAB_LOG");
+  const char* v = std::getenv(env::kLog);
   LogLevel lvl = LogLevel::info;
   if (v != nullptr) (void)parse_log_level(v, lvl);
   return lvl;

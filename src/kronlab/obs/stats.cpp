@@ -8,13 +8,14 @@
 #include <cstdlib>
 #include <memory>
 
+#include "kronlab/common/registry.hpp"
 #include "kronlab/common/sync.hpp"
 
 namespace kronlab::obs {
 namespace {
 
 bool env_stats_enabled() {
-  const char* v = std::getenv("KRONLAB_STATS");
+  const char* v = std::getenv(env::kStats);
   if (v == nullptr) return true; // default on
   const std::string_view s(v);
   return !(s == "0" || s == "off" || s == "false" || s.empty());

@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/common/registry.hpp"
 #include "kronlab/common/sync.hpp"
 #include "kronlab/common/timer.hpp"
 
@@ -20,12 +21,12 @@ namespace kronlab::trace {
 namespace {
 
 std::atomic<bool> g_enabled{[] {
-  const char* env = std::getenv("KRONLAB_TRACE");
+  const char* env = std::getenv(kronlab::env::kTrace);
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }()};
 
 std::atomic<std::size_t> g_capacity{[]() -> std::size_t {
-  if (const char* env = std::getenv("KRONLAB_TRACE_BUFFER")) {
+  if (const char* env = std::getenv(kronlab::env::kTraceBuffer)) {
     const long n = std::strtol(env, nullptr, 10);
     if (n > 0) return static_cast<std::size_t>(n);
   }
@@ -317,7 +318,7 @@ void write_chrome_file(const std::string& path,
 
 namespace {
 
-constexpr char kMagic[8] = {'K', 'R', 'N', 'L', 'T', 'R', 'C', '1'};
+constexpr const char (&kMagic)[8] = magic::kTrc1;
 constexpr std::uint32_t kVersion = 1;
 constexpr std::uint64_t kMaxEvents = std::uint64_t{1} << 32;
 constexpr std::uint32_t kMaxStrings = 1u << 24;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "kronlab/common/registry.hpp"
 #include "kronlab/obs/trace.hpp"
 
 namespace kronlab::metrics {
@@ -12,7 +13,7 @@ namespace kronlab::metrics {
 namespace {
 
 std::atomic<bool> g_enabled{[] {
-  const char* env = std::getenv("KRONLAB_METRICS");
+  const char* env = std::getenv(kronlab::env::kMetrics);
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }()};
 

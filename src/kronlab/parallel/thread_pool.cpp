@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "kronlab/common/registry.hpp"
 #include "kronlab/obs/stats.hpp"
 #include "kronlab/obs/trace.hpp"
 
@@ -125,7 +126,7 @@ ScopedPoolOverride::~ScopedPoolOverride() { tl_pool_override = prev_; }
 ThreadPool& global_pool() {
   if (tl_pool_override != nullptr) return *tl_pool_override;
   static ThreadPool pool([] {
-    if (const char* env = std::getenv("KRONLAB_THREADS")) {
+    if (const char* env = std::getenv(env::kThreads)) {
       const long n = std::strtol(env, nullptr, 10);
       if (n > 0) return static_cast<std::size_t>(n);
     }

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/common/registry.hpp"
 #include "kronlab/common/types.hpp"
 #include "kronlab/kron/oracle.hpp"
 
@@ -67,8 +68,9 @@ namespace kronlab::serve {
 using word_t = std::int64_t;
 
 /// The protocol magic, version included.
-inline constexpr char frame_magic[8] = {'K', 'R', 'N', 'L',
-                                        'S', 'R', 'V', '1'};
+// Alias into the one-definition registry (common/registry.hpp); keeps
+// sizeof frame_magic == 8 for the memcpy/memcmp framing below.
+inline constexpr const char (&frame_magic)[8] = magic::kSrv1;
 
 /// Hard cap on one frame's payload (bytes).  Far above any real batch,
 /// far below anything that could turn eight corrupt length bytes into a

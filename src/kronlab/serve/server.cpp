@@ -72,23 +72,35 @@ void Server::adopt(std::unique_ptr<Transport> transport) {
   conn->transport = std::move(transport);
   if (draining_.load(std::memory_order_acquire)) {
     connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs::log(obs::LogLevel::info, "serve", "conn_rejected")
+        .field("reason", "shutting_down");
     send(*conn, encode_response({0, Status::shutting_down, {}}));
     return; // transport closes with the Connection
   }
-  MutexLock lock(conn_mu_);
-  reap_connections();
   std::size_t active = 0;
-  for (const auto& c : conns_) {
-    if (!c->reader_done.load(std::memory_order_acquire)) ++active;
+  {
+    MutexLock lock(conn_mu_);
+    reap_connections();
+    for (const auto& c : conns_) {
+      if (!c->reader_done.load(std::memory_order_acquire)) ++active;
+    }
+    if (active < opt_.max_connections) {
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      conn->reader = std::thread([this, conn] { reader_loop(conn); });
+      conns_.push_back(std::move(conn));
+      return;
+    }
   }
-  if (active >= opt_.max_connections) {
-    connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-    send(*conn, encode_response({0, Status::overloaded, {}}));
-    return;
-  }
-  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-  conn->reader = std::thread([this, conn] { reader_loop(conn); });
-  conns_.push_back(std::move(conn));
+  // Rejection answer outside conn_mu_: a slow peer must not be able to
+  // stall the accept path behind its socket (found by kronlab_analyze's
+  // blocking-under-lock rule).  The conn is not in conns_, so nothing
+  // races the write.
+  connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+  obs::log(obs::LogLevel::warn, "serve", "conn_rejected")
+      .field("reason", "overloaded")
+      .field("active", static_cast<std::uint64_t>(active))
+      .field("max", static_cast<std::uint64_t>(opt_.max_connections));
+  send(*conn, encode_response({0, Status::overloaded, {}}));
 }
 
 void Server::reap_connections() {
@@ -110,17 +122,22 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
       auto frame = read_frame(t, no_deadline);
       if (!frame) break; // clean EOF
       payload = std::move(*frame);
-    } catch (const checksum_error&) {
+    } catch (const checksum_error& e) {
       // Framing is intact (the full frame was read): answer and go on.
       malformed_.fetch_add(1, std::memory_order_relaxed);
+      obs::log(obs::LogLevel::warn, "serve", "frame_checksum_error")
+          .field("what", e.what());
       send(*conn, encode_response({0, Status::malformed, {}}));
       continue;
-    } catch (const protocol_error&) {
+    } catch (const protocol_error& e) {
       // Bad magic / implausible length: the byte stream may be out of
       // sync — answer best-effort and drop the connection.  The close is
       // immediate (not deferred to reaping) so the peer observes EOF, at
       // the cost of any still-executing responses on this stream.
       malformed_.fetch_add(1, std::memory_order_relaxed);
+      obs::log(obs::LogLevel::warn, "serve", "frame_protocol_error")
+          .field("what", e.what())
+          .field("action", "drop_connection");
       send(*conn, encode_response({0, Status::malformed, {}}));
       t.shutdown();
       break;
@@ -287,10 +304,16 @@ kron::VertexRecord Server::cached_vertex(index_t p) {
 void Server::send(Connection& conn, const std::vector<word_t>& payload) {
   MutexLock lock(conn.write_mu);
   try {
+    // kronlab-analyze: allow(blocking-under-lock) write_mu is this
+    // connection's dedicated frame mutex; it exists precisely to keep
+    // concurrent responses from interleaving bytes, and nothing else
+    // ever waits on it while doing work
     write_frame(*conn.transport, payload);
-  } catch (const error&) {
+  } catch (const error& e) {
     // Peer vanished mid-response; its reader sees the close and the
     // connection is reaped.  Dropping the write is the only option left.
+    obs::log(obs::LogLevel::debug, "serve", "response_write_failed")
+        .field("what", e.what());
   }
 }
 
@@ -348,6 +371,9 @@ void Server::stop() {
     MutexLock lock(conn_mu_);
     for (const auto& c : conns_) c->transport->shutdown_read();
     for (const auto& c : conns_) {
+      // kronlab-analyze: allow(blocking-under-lock) shutdown path: the
+      // listener is closed and every read side is half-closed, so each
+      // reader exits promptly; conn_mu_ is held to fence out adopt()
       if (c->reader.joinable()) c->reader.join();
     }
   }

@@ -136,7 +136,7 @@ TEST(DurableFormat, SegmentCorruptionIsTyped) {
   FileOps& ops = real_file_ops();
   SegmentHeader h;
   h.num_edges = 2;
-  write_segment(ops, dir, h, {{1, 2}, {3, 4}});
+  (void)write_segment(ops, dir, h, {{1, 2}, {3, 4}});
   const std::string path = dir + "/" + segment_name(0, 0);
   const std::string good = *ops.read_file(path);
 

@@ -120,7 +120,7 @@ TEST(BinaryIo, ChecksumDetectsValueBitFlip) {
   data[data.size() - 9] ^= 0x01;
   auto bad = as_stream(data);
   try {
-    read_binary(bad);
+    (void)read_binary(bad);
     FAIL() << "corrupt value accepted";
   } catch (const io_error& e) {
     EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
@@ -180,7 +180,7 @@ TEST(BinaryIo, RejectsImplausibleDimensions) {
 TEST(BinaryIo, RejectsNnzExceedingMatrixCapacity) {
   auto buf = header_only("KRNLCSR2", 2, 2, 5); // nnz > nrows*ncols
   try {
-    read_binary(buf);
+    (void)read_binary(buf);
     FAIL() << "overfull header accepted";
   } catch (const io_error& e) {
     EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos);
@@ -226,7 +226,7 @@ TEST(Snapshot, MetaCorruptionIsDetected) {
   data[8 + 8 + 4] ^= 0x10; // flip a bit inside meta[0]
   auto bad = as_stream(data);
   try {
-    read_snapshot(bad);
+    (void)read_snapshot(bad);
     FAIL() << "corrupt metadata accepted";
   } catch (const io_error& e) {
     EXPECT_NE(std::string(e.what()).find("metadata checksum"),

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "kronlab/common/error.hpp"
+#include "kronlab/common/registry.hpp"
 #include "kronlab/obs/trace.hpp"
 
 using kronlab::trace::Kind;
@@ -280,7 +281,7 @@ TraceFile load(const std::string& path) {
   f.read(magic, sizeof magic);
   f.close();
   try {
-    if (std::memcmp(magic, "KRNLTRC1", 8) == 0) {
+    if (std::memcmp(magic, kronlab::magic::kTrc1, 8) == 0) {
       return kronlab::trace::read_binary_file(path);
     }
     std::ifstream in(path, std::ios::binary);
